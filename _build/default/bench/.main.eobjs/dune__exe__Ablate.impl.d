@@ -1,0 +1,1 @@
+bench/ablate.ml: Common Datalawyer Engine List Printf Stats Workload

@@ -1,0 +1,1 @@
+bench/common.ml: Datalawyer Engine List Mimic Printf Stats String Workload

@@ -1,0 +1,1 @@
+bench/fig1.ml: Common Datalawyer Engine Float List Printf Workload

@@ -1,0 +1,1 @@
+bench/fig2.ml: Common Datalawyer Engine List Printf Stats Workload

@@ -1,0 +1,1 @@
+bench/fig4.ml: Common Datalawyer Engine List Printf Stats Workload

@@ -1,0 +1,1 @@
+bench/fig5.ml: Common Datalawyer Engine List Mimic Printf Relational Stats Workload

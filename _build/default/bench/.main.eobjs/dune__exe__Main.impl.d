@@ -1,0 +1,1 @@
+bench/main.ml: Ablate Array Common Fig1 Fig2 Fig3 Fig4 Fig5 List Micro Printf String Sys Tab4 Unix

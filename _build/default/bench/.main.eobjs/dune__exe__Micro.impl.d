@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Common Datalawyer Engine Hashtbl Instance List Measure Mimic Partial Policy Printf Relational Staged Test Time Toolkit Witness Workload

@@ -1,0 +1,1 @@
+bench/tab4.ml: Common Datalawyer Engine List Stats Workload

@@ -1,0 +1,47 @@
+(** Figure 1: policy + query evaluation time per batch, NoOpt vs
+    DataLawyer, policy P6 and query W1 (the fastest query), for uid 0 and
+    uid 1.
+
+    Expected shape: NoOpt's per-batch time grows continuously with the
+    batch number (the usage log keeps growing); DataLawyer's stabilizes to
+    a constant after the initial ramp-up. *)
+
+open Datalawyer
+
+let run (scale : Common.scale) =
+  Common.header "Figure 1: per-batch policy+query time, P6 + W1 (ms)";
+  Printf.printf "batches of %d queries of W1; policy P6 enforced\n\n"
+    scale.Common.batch_size;
+  let series =
+    List.concat_map
+      (fun (label, config) ->
+        List.map
+          (fun uid ->
+            let s = Common.setup ~config ~policy_names:[ "P6" ] () in
+            let q = Workload.Runner.query s "W1" in
+            let batches =
+              List.init scale.Common.batches (fun _ ->
+                  let stats, _ =
+                    Workload.Runner.run_stream s ~uid ~n:scale.Common.batch_size q
+                  in
+                  Common.mean_total stats)
+            in
+            (Printf.sprintf "%s, uid=%d" label uid, batches))
+          [ 0; 1 ])
+      [ ("NoOpt", Engine.noopt_config); ("DataLawyer", Engine.default_config) ]
+  in
+  let widths = 6 :: List.map (fun _ -> 18) series in
+  Common.print_table widths
+    ("batch" :: List.map fst series)
+    (List.init scale.Common.batches (fun b ->
+         string_of_int (b + 1)
+         :: List.map (fun (_, xs) -> Common.f3 (List.nth xs b)) series));
+  (* Summarize the trend: last batch over first batch. *)
+  print_newline ();
+  List.iter
+    (fun (label, xs) ->
+      let first = List.hd xs and last = List.nth xs (List.length xs - 1) in
+      Printf.printf "%-20s first %.3fms  last %.3fms  growth %.1fx\n" label first
+        last
+        (last /. Float.max 1e-9 first))
+    series

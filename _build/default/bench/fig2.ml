@@ -1,0 +1,67 @@
+(** Figure 2: policy + query evaluation time for every policy P1–P6,
+    broken into the phases the paper stacks: usage tracking, policy
+    evaluation, log compaction, query execution.
+
+    2a: query W4 as uid 0 (fast path); 2b: W4 as uid 1; 2c: W2 as uid 1.
+    Each policy is enforced in isolation, as in §5.1. For DataLawyer the
+    stabilized regime is reported; for NoOpt the 1st and the Nth query
+    (the paper's 10th for W4 and 400th for W2, scaled). *)
+
+open Datalawyer
+
+type cell = { dl : Stats.t; noopt_first : Stats.t; noopt_nth : Stats.t; nth : int }
+
+let measure (scale : Common.scale) ~qname ~uid policy : cell =
+  let nth =
+    if qname = "W2" then scale.Common.noopt_w2_n else scale.Common.noopt_w4_n
+  in
+  (* DataLawyer, stabilized: run 2x nth, report the last quarter. *)
+  let dl =
+    let s = Common.setup ~config:Engine.default_config ~policy_names:[ policy ] () in
+    let q = Workload.Runner.query s qname in
+    let n = max 12 nth in
+    Stats.mean (Common.stable_stats s ~uid ~n ~last:(max 3 (n / 4)) q)
+  in
+  let s = Common.setup ~config:Engine.noopt_config ~policy_names:[ policy ] () in
+  let q = Workload.Runner.query s qname in
+  let stats, _ = Workload.Runner.run_stream s ~uid ~n:nth q in
+  let noopt_first = List.hd stats in
+  let noopt_nth = List.nth stats (nth - 1) in
+  { dl; noopt_first; noopt_nth; nth }
+
+(* "effective" is the latency a multi-threaded deployment could show the
+   user by returning results before compaction finishes (§5.1's 23%
+   remark). *)
+let phase_string (st : Stats.t) =
+  Printf.sprintf
+    "track %6.2f | eval %7.2f | compact %6.2f | query %7.2f | total %8.2f | effective %8.2f"
+    (Common.ms st.Stats.log_track)
+    (Common.ms st.Stats.policy_eval)
+    (Common.ms (Stats.compaction_total st))
+    (Common.ms st.Stats.query_exec)
+    (Common.ms (Stats.total st))
+    (Common.ms (Stats.total st -. Stats.compaction_total st))
+
+let panel scale ~title ~qname ~uid =
+  Printf.printf "\n--- %s (query %s, uid %d; times in ms) ---\n" title qname uid;
+  List.iter
+    (fun policy ->
+      let c = measure scale ~qname ~uid policy in
+      Printf.printf "%s  DataLawyer (stable) : %s\n" policy (phase_string c.dl);
+      Printf.printf "%s  NoOpt (1st query)   : %s\n" policy (phase_string c.noopt_first);
+      Printf.printf "%s  NoOpt (query #%-4d) : %s\n" policy c.nth
+        (phase_string c.noopt_nth))
+    [ "P1"; "P2"; "P3"; "P4"; "P5"; "P6" ]
+
+let run (scale : Common.scale) =
+  Common.header "Figure 2: per-policy phase breakdown, DataLawyer vs NoOpt";
+  let s = Common.setup ~policy_names:[] () in
+  List.iter
+    (fun qname ->
+      let q = Workload.Runner.query s qname in
+      Printf.printf "plain %s (no policies): %.2fms\n" qname
+        (Common.ms (Workload.Runner.plain_query_time s ~n:3 q)))
+    [ "W2"; "W4" ];
+  panel scale ~title:"Figure 2a" ~qname:"W4" ~uid:0;
+  panel scale ~title:"Figure 2b" ~qname:"W4" ~uid:1;
+  panel scale ~title:"Figure 2c" ~qname:"W2" ~uid:1

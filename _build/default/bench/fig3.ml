@@ -1,0 +1,40 @@
+(** Figure 3: the three phases of log compaction — mark / delete / insert
+    — for the time-dependent policies P1, P5 and P6 across all four
+    queries, as uid 1, plus compaction's share of total time.
+
+    Expected shape: the mark phase (running the witness queries)
+    dominates; P1 (users log only) is cheap, P5/P6 (provenance) are
+    noticeable; the share of total time stays modest. *)
+
+let run (scale : Common.scale) =
+  Common.header "Figure 3: log compaction phase breakdown (uid 1, ms)";
+  ignore scale;
+  let rows =
+    List.concat_map
+      (fun policy ->
+        List.map
+          (fun qname ->
+            let s = Common.setup ~policy_names:[ policy ] () in
+            let q = Workload.Runner.query s qname in
+            let n = 16 in
+            let st =
+              Datalawyer.Stats.mean (Common.stable_stats s ~uid:1 ~n ~last:8 q)
+            in
+            let mark = Common.ms st.Datalawyer.Stats.compact_mark in
+            let del = Common.ms st.Datalawyer.Stats.compact_delete in
+            let ins = Common.ms st.Datalawyer.Stats.compact_insert in
+            let total = Common.ms (Datalawyer.Stats.total st) in
+            let share = 100. *. (mark +. del +. ins) /. Float.max 1e-9 total in
+            [
+              Printf.sprintf "%s.%s" policy qname;
+              Common.f3 mark;
+              Common.f3 del;
+              Common.f3 ins;
+              Printf.sprintf "%s%%" (Common.f1 share);
+            ])
+          [ "W1"; "W2"; "W3"; "W4" ])
+      [ "P1"; "P5"; "P6" ]
+  in
+  Common.print_table [ 8; 10; 10; 10; 10 ]
+    [ "config"; "mark"; "delete"; "insert"; "share" ]
+    rows

@@ -1,0 +1,47 @@
+(** Figure 4: benefit and overhead of interleaved policy evaluation for
+    each policy on query W4, for uid 0 and uid 1, with the other
+    optimizations enabled.
+
+    Expected shape: for uid 0, interleaved evaluation prunes after the
+    cheap [users] log and cuts total time to near the plain query time;
+    for uid 1 it adds a small overhead (extra partial-policy calls). *)
+
+open Datalawyer
+
+let no_interleave =
+  { Engine.default_config with Engine.strategy = Engine.Serial }
+
+let measure ~config ~policy ~uid =
+  let s = Common.setup ~config ~policy_names:[ policy ] () in
+  let q = Workload.Runner.query s "W4" in
+  let n = 10 in
+  let st = Stats.mean (Common.stable_stats s ~uid ~n ~last:5 q) in
+  (Common.ms (Stats.total st), st.Stats.policy_calls)
+
+let run (scale : Common.scale) =
+  ignore scale;
+  Common.header "Figure 4: interleaved evaluation on W4 (total ms / policy calls)";
+  let s = Common.setup ~policy_names:[] () in
+  let q = Workload.Runner.query s "W4" in
+  Printf.printf "plain W4 (no policies): %.2fms\n\n"
+    (Common.ms (Workload.Runner.plain_query_time s ~n:3 q));
+  let rows =
+    List.map
+      (fun policy ->
+        let i0, c0 = measure ~config:Engine.default_config ~policy ~uid:0 in
+        let n0, _ = measure ~config:no_interleave ~policy ~uid:0 in
+        let i1, c1 = measure ~config:Engine.default_config ~policy ~uid:1 in
+        let n1, _ = measure ~config:no_interleave ~policy ~uid:1 in
+        [
+          policy;
+          Printf.sprintf "%s (%d)" (Common.f1 i0) c0;
+          Common.f1 n0;
+          Printf.sprintf "%s (%d)" (Common.f1 i1) c1;
+          Common.f1 n1;
+        ])
+      [ "P1"; "P2"; "P3"; "P4"; "P5"; "P6" ]
+  in
+  Common.print_table
+    [ 6; 14; 12; 14; 12 ]
+    [ "policy"; "uid0-int"; "uid0-noint"; "uid1-int"; "uid1-noint" ]
+    rows

@@ -1,0 +1,92 @@
+(** Figure 5: policy unification. A family of n policies identical up to
+    one constant (a P1-style rate limit per user group) is enforced while
+    a constant total number of W1 queries is executed round-robin by the
+    n users.
+
+    Strategies compared, as in §5.5: without unification — union (all
+    policies as one big UNION query), serial (one call per policy),
+    interleaved; with unification — serial and interleaved (serial and
+    union coincide for a single policy).
+
+    Expected shape: without unification, policy-checking time is O(n);
+    with unification it stays roughly constant across two orders of
+    magnitude. The paper's JDBC round-trips are simulated by also
+    reporting time inflated with a fixed per-call cost, which is what
+    makes union beat serial there. *)
+
+open Datalawyer
+
+let ns = [ 10; 100; 1000 ]
+
+let jdbc_cost_ms = 0.05 (* simulated per-call client round-trip *)
+
+let family_sql k =
+  Printf.sprintf
+    "SELECT DISTINCT 'G%d rate exceeded' AS errorMessage FROM users u, \
+     user_groups g, clock c WHERE u.uid = g.uid AND g.gid = 'G%d' AND u.ts > \
+     c.ts - 50 HAVING COUNT(DISTINCT u.uid) > 10"
+    k k
+
+(* A dedicated instance: n users, one group per user. *)
+let setup ~config ~n =
+  let db = Mimic.Generate.database ~config:Common.mimic_config () in
+  let groups = Relational.Database.table db "user_groups" in
+  ignore (Relational.Table.delete_where groups (fun _ -> true));
+  for uid = 0 to n - 1 do
+    ignore
+      (Relational.Table.insert groups
+         [| Relational.Value.Int uid; Relational.Value.Str (Printf.sprintf "G%d" uid) |])
+  done;
+  let engine = Engine.create ~config db in
+  for k = 0 to n - 1 do
+    ignore (Engine.add_policy engine ~name:(Printf.sprintf "P1_%d" k) (family_sql k))
+  done;
+  engine
+
+let measure ~config ~n ~total_queries =
+  let engine = setup ~config ~n in
+  let sql = (Workload.Queries.w1 ~n_patients:Common.n_patients).Workload.Queries.sql in
+  let stats = ref [] in
+  for i = 0 to total_queries - 1 do
+    match Engine.submit engine ~uid:(i mod n) sql with
+    | Engine.Accepted (_, st) | Engine.Rejected (_, st) -> stats := st :: !stats
+  done;
+  let m = Stats.mean !stats in
+  let eval = Common.ms m.Stats.policy_eval in
+  let with_jdbc = eval +. (float_of_int m.Stats.policy_calls *. jdbc_cost_ms) in
+  (eval, m.Stats.policy_calls, with_jdbc)
+
+let strategies =
+  [
+    ( "unified;serial",
+      { Engine.default_config with Engine.strategy = Engine.Serial } );
+    ("unified;interleaved", Engine.default_config);
+    ( "plain;union",
+      { Engine.default_config with Engine.unification = false; strategy = Engine.Union_all } );
+    ( "plain;serial",
+      { Engine.default_config with Engine.unification = false; strategy = Engine.Serial } );
+    ("plain;interleaved", { Engine.default_config with Engine.unification = false });
+  ]
+
+let run (scale : Common.scale) =
+  Common.header "Figure 5: policy unification (per-query policy-eval ms)";
+  let total_queries = max 30 (scale.Common.batch_size / 3) in
+  Printf.printf
+    "%d W1 queries round-robin over n users; n policies (one per group)\n\
+     cells: eval ms | policy calls | eval + %.2fms/call (simulated JDBC)\n\n"
+    total_queries jdbc_cost_ms;
+  let rows =
+    List.map
+      (fun n ->
+        string_of_int n
+        :: List.map
+             (fun (_, config) ->
+               let eval, calls, jdbc = measure ~config ~n ~total_queries in
+               Printf.sprintf "%s|%d|%s" (Common.f2 eval) calls (Common.f2 jdbc))
+             strategies)
+      ns
+  in
+  Common.print_table
+    (6 :: List.map (fun _ -> 20) strategies)
+    ("n" :: List.map fst strategies)
+    rows

@@ -1,0 +1,80 @@
+(** Bechamel micro-benchmarks for the engine's hot operations: one
+    [Test.make] per reproduced table/figure's critical path —
+
+    - Fig. 1/2's inner loop: full policy check of a W1 submission;
+    - Fig. 3's mark phase: witness construction for a window policy;
+    - Fig. 4's partial policies: πS construction;
+    - Fig. 5's unified evaluation: one unified-policy evaluation;
+    - Table 4's rewrite: time-independence classification + rewriting;
+    - the SQL frontend (parse of a Table 2 policy). *)
+
+open Bechamel
+open Toolkit
+open Datalawyer
+
+let make_setup () =
+  let s =
+    Workload.Runner.make ~mimic:Mimic.Generate.small_config
+      ~params:Common.bench_params
+      ~policy_names:[ "P1"; "P2"; "P3"; "P4"; "P5"; "P6" ] ()
+  in
+  (* warm the engine so steady-state costs are measured *)
+  let q = Workload.Runner.query s "W1" in
+  ignore (Workload.Runner.run_stream s ~uid:1 ~n:20 q);
+  s
+
+let tests () =
+  let s = make_setup () in
+  let engine = s.Workload.Runner.engine in
+  let db = s.Workload.Runner.db in
+  let is_log rel = Relational.Catalog.is_log (Relational.Database.catalog db) rel in
+  let w1 = Workload.Runner.query s "W1" in
+  let p5 =
+    List.find (fun p -> p.Policy.name = "P5") (Engine.policies engine)
+  in
+  let p2_sql = (Workload.Policies.p2 Common.bench_params).Workload.Policies.sql in
+  [
+    Test.make ~name:"submit W1 (full policy check)"
+      (Staged.stage (fun () ->
+           ignore (Engine.submit engine ~uid:1 w1.Workload.Queries.sql)));
+    Test.make ~name:"witness construction (P5)"
+      (Staged.stage (fun () -> ignore (Witness.for_policy ~is_log ~now:1000 p5)));
+    Test.make ~name:"partial policy construction (P5, S={users})"
+      (Staged.stage (fun () ->
+           ignore (Partial.of_query ~is_log ~available:[ "users" ] p5.Policy.query)));
+    Test.make ~name:"policy parse + classify (P2)"
+      (Staged.stage (fun () ->
+           ignore
+             (Policy.create
+                (Relational.Database.catalog db)
+                ~is_log ~name:"bench_p2" ~active_from:0 p2_sql)));
+    Test.make ~name:"policy evaluation (P5, compacted log)"
+      (Staged.stage (fun () ->
+           ignore (Relational.Executor.is_empty (Relational.Database.catalog db) p5.Policy.query)));
+  ]
+
+let run () =
+  Common.header "Micro-benchmarks (Bechamel)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw =
+    Benchmark.all cfg
+      Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name:"micro" ~fmt:"%s %s" (tests ()))
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let est =
+        match Analyze.OLS.estimates result with
+        | Some [ e ] -> Printf.sprintf "%.2f us/run" (e /. 1000.)
+        | _ -> "n/a"
+      in
+      rows := (name, est) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "%-50s %s\n" name est)
+    (List.sort compare !rows)

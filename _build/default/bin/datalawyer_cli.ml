@@ -1,0 +1,191 @@
+(** The [datalawyer] command-line tool.
+
+    - [datalawyer repl] — interactive SQL console over the synthetic
+      MIMIC instance with policy enforcement; [:help] lists commands.
+    - [datalawyer check -p POLICY.sql -q QUERY.sql] — one-shot check of a
+      query against policies (exit code 1 on violation).
+    - [datalawyer demo] — a short guided tour. *)
+
+open Relational
+open Datalawyer
+
+let make_engine ~noopt ~with_table2 =
+  let mimic = Mimic.Generate.small_config in
+  let db = Mimic.Generate.database ~config:mimic () in
+  let config = if noopt then Engine.noopt_config else Engine.default_config in
+  let engine = Engine.create ~config db in
+  if with_table2 then
+    List.iter
+      (fun (p : Workload.Policies.t) ->
+        ignore (Engine.add_policy engine ~name:p.Workload.Policies.name p.Workload.Policies.sql))
+      (Workload.Policies.all ~n_patients:mimic.Mimic.Generate.n_patients ());
+  (db, engine)
+
+(* repl ------------------------------------------------------------------- *)
+
+let repl_help =
+  {|commands:
+  :help                 show this help
+  :user N               switch current user id (default 1)
+  :policy NAME SQL...   register a policy
+  :policies             list registered policies
+  :drop NAME            remove a policy
+  :log                  show usage-log sizes
+  :tables               list tables
+  :load TABLE FILE.csv  import a CSV file (creates the table if needed)
+  :export TABLE FILE    export a table to CSV
+  :quit                 exit
+anything else is SQL, checked against the policies before running|}
+
+let run_repl noopt no_policies =
+  let db, engine = make_engine ~noopt ~with_table2:(not no_policies) in
+  let uid = ref 1 in
+  Printf.printf
+    "DataLawyer console — synthetic MIMIC instance%s\ntype :help for commands\n"
+    (if no_policies then "" else ", Table 2 policies enforced");
+  let rec loop () =
+    Printf.printf "dl:%d> %!" !uid;
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+      let line = String.trim line in
+      (try
+         if line = "" then ()
+         else if line = ":quit" || line = ":q" then raise Exit
+         else if line = ":help" then print_endline repl_help
+         else if line = ":policies" then
+           List.iter
+             (fun p -> Format.printf "%a@." Policy.pp p)
+             (Engine.policies engine)
+         else if line = ":log" then
+           List.iter
+             (fun rel -> Printf.printf "  %-12s %6d rows\n" rel (Engine.log_size engine rel))
+             [ "users"; "schema"; "provenance" ]
+         else if line = ":tables" then
+           List.iter print_endline (Catalog.table_names (Database.catalog db))
+         else if String.length line > 6 && String.sub line 0 6 = ":user " then
+           uid := int_of_string (String.trim (String.sub line 6 (String.length line - 6)))
+         else if String.length line > 6 && String.sub line 0 6 = ":drop " then
+           Engine.remove_policy engine (String.trim (String.sub line 6 (String.length line - 6)))
+         else if String.length line > 6 && String.sub line 0 6 = ":load " then begin
+           match String.split_on_char ' ' (String.sub line 6 (String.length line - 6)) with
+           | [ table; path ] ->
+             let n = Csv_io.import_from_file db ~table ~path in
+             Printf.printf "imported %d rows into %s\n" n table
+           | _ -> print_endline "usage: :load TABLE FILE.csv"
+         end
+         else if String.length line > 8 && String.sub line 0 8 = ":export " then begin
+           match String.split_on_char ' ' (String.sub line 8 (String.length line - 8)) with
+           | [ table; path ] ->
+             Csv_io.export_to_file db ~table ~path;
+             Printf.printf "exported %s to %s\n" table path
+           | _ -> print_endline "usage: :export TABLE FILE"
+         end
+         else if String.length line > 8 && String.sub line 0 8 = ":policy " then begin
+           let rest = String.sub line 8 (String.length line - 8) in
+           match String.index_opt rest ' ' with
+           | None -> print_endline "usage: :policy NAME SQL..."
+           | Some i ->
+             let name = String.sub rest 0 i in
+             let sql = String.sub rest (i + 1) (String.length rest - i - 1) in
+             let p = Engine.add_policy engine ~name sql in
+             Format.printf "registered %a@." Policy.pp p
+         end
+         else
+           match Engine.submit engine ~uid:!uid line with
+           | Engine.Accepted (result, stats) ->
+             print_endline (Database.render result);
+             Printf.printf "(policy machinery: %.2fms)\n"
+               (Stats.overhead stats *. 1000.)
+           | Engine.Rejected (messages, _) ->
+             List.iter (fun m -> Printf.printf "REJECTED: %s\n" m) messages
+       with
+      | Exit -> raise Exit
+      | Errors.Sql_error _ as e -> print_endline (Errors.to_string e)
+      | Failure m -> print_endline m);
+      loop ()
+  in
+  (try loop () with Exit -> ());
+  `Ok ()
+
+(* check ------------------------------------------------------------------ *)
+
+let run_check policy_files query_file uid =
+  let db, engine = make_engine ~noopt:false ~with_table2:false in
+  ignore db;
+  List.iteri
+    (fun i file ->
+      let sql = In_channel.with_open_text file In_channel.input_all in
+      ignore (Engine.add_policy engine ~name:(Printf.sprintf "policy_%d" i) sql))
+    policy_files;
+  let sql = In_channel.with_open_text query_file In_channel.input_all in
+  match Engine.submit engine ~uid sql with
+  | Engine.Accepted (result, _) ->
+    print_endline (Database.render result);
+    `Ok ()
+  | Engine.Rejected (messages, _) ->
+    List.iter (fun m -> Printf.eprintf "REJECTED: %s\n" m) messages;
+    exit 1
+
+(* demo ------------------------------------------------------------------- *)
+
+let run_demo () =
+  let _, engine = make_engine ~noopt:false ~with_table2:true in
+  let script =
+    [
+      (0, "SELECT COUNT(*) FROM d_patients");
+      (1, "SELECT sex, dob FROM d_patients WHERE subject_id = 7");
+      (1, "SELECT o.drug, m.dose FROM poe_order o, poe_med m WHERE o.order_id = m.order_id LIMIT 3");
+      (1, "SELECT o.drug, p.sex FROM poe_order o, d_patients p WHERE o.subject_id = p.subject_id LIMIT 3");
+    ]
+  in
+  List.iter
+    (fun (uid, sql) ->
+      Printf.printf "[uid %d] %s\n" uid sql;
+      (match Engine.submit engine ~uid sql with
+      | Engine.Accepted (result, _) ->
+        Printf.printf "  accepted (%d rows)\n" (List.length result.Executor.out_rows)
+      | Engine.Rejected (messages, _) ->
+        List.iter (fun m -> Printf.printf "  REJECTED: %s\n" m) messages);
+      print_newline ())
+    script;
+  `Ok ()
+
+(* cmdliner wiring ---------------------------------------------------------- *)
+
+open Cmdliner
+
+let noopt =
+  Arg.(value & flag & info [ "noopt" ] ~doc:"Use the NoOpt baseline engine.")
+
+let no_policies =
+  Arg.(value & flag & info [ "no-policies" ] ~doc:"Start without the Table 2 policies.")
+
+let repl_cmd =
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive SQL console with policy enforcement")
+    Term.(ret (const run_repl $ noopt $ no_policies))
+
+let check_cmd =
+  let policies =
+    Arg.(
+      value & opt_all file []
+      & info [ "p"; "policy" ] ~docv:"FILE" ~doc:"Policy SQL file (repeatable).")
+  in
+  let query =
+    Arg.(required & opt (some file) None & info [ "q"; "query" ] ~docv:"FILE" ~doc:"Query SQL file.")
+  in
+  let uid = Arg.(value & opt int 1 & info [ "u"; "uid" ] ~doc:"User id.") in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check one query against policies; exit 1 on violation")
+    Term.(ret (const run_check $ policies $ query $ uid))
+
+let demo_cmd =
+  Cmd.v (Cmd.info "demo" ~doc:"Short guided tour") Term.(ret (const run_demo $ const ()))
+
+let () =
+  let info =
+    Cmd.info "datalawyer" ~version:"1.0.0"
+      ~doc:"Automatic enforcement of data use policies (SIGMOD'15 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info [ repl_cmd; check_cmd; demo_cmd ]))

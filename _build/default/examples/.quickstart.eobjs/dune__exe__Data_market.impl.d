@@ -1,0 +1,1 @@
+examples/data_market.ml: Datalawyer Engine List Printf Relational

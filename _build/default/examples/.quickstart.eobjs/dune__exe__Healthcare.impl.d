@@ -1,0 +1,1 @@
+examples/healthcare.ml: Datalawyer Engine Executor List Mimic Printf Relational

@@ -1,0 +1,1 @@
+examples/pricing.ml: Datalawyer Engine Format List Mimic Pricing Printf Usage_log

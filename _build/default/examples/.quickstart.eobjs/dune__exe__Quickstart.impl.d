@@ -1,0 +1,1 @@
+examples/quickstart.ml: Database Datalawyer Engine Format List Printf Relational Stats

@@ -1,0 +1,92 @@
+(* Data-market scenario: the Table 1 policy gallery.
+
+   Build and run:  dune exec examples/data_market.exe
+
+   A company aggregates several commercial feeds, each with its own terms
+   of use (simplified from the paper's survey):
+
+   - Navteq-style (Table 1 P1): no overlaying the map feed with other data;
+   - MS-Translator-style (P3): free tier limited to a total result volume
+     per 30-tick window;
+   - Twitter-style (P4): at most 5 calls per user per 10-tick window;
+   - Yelp-style (P7): ratings may be joined and unioned but never
+     aggregated.
+
+   The example shows each term firing, plus the engine's bookkeeping. *)
+
+open Datalawyer
+
+let () =
+  let db = Relational.Database.create () in
+  ignore
+    (Relational.Database.exec_script db
+       {|
+       CREATE TABLE maps (poi INT, name TEXT);
+       CREATE TABLE ratings (poi INT, stars FLOAT, reviews INT);
+       CREATE TABLE sales (poi INT, units INT);
+       INSERT INTO maps VALUES (1, 'cafe'), (2, 'museum'), (3, 'harbor');
+       INSERT INTO ratings VALUES (1, 4.5, 120), (2, 3.8, 60), (3, 4.9, 410);
+       INSERT INTO sales VALUES (1, 12), (2, 7), (3, 31)
+       |});
+  let engine = Engine.create db in
+
+  (* P1: prohibit joins of the licensed map feed. *)
+  ignore
+    (Engine.add_policy engine ~name:"maps_no_overlay"
+       "SELECT DISTINCT 'maps terms: overlaying maps with other data is \
+        prohibited' FROM schema s1, schema s2 WHERE s1.ts = s2.ts AND \
+        s1.irid = 'maps' AND s2.irid != 'maps'");
+
+  (* P3: free-tier volume cap — at most 4 result tuples derived from the
+     ratings feed per user per 30-tick window. *)
+  ignore
+    (Engine.add_policy engine ~name:"ratings_free_tier"
+       "SELECT DISTINCT 'ratings terms: free tier exceeded (more than 4 \
+        result tuples in the window)' FROM provenance p, users u, clock c \
+        WHERE p.ts = u.ts AND p.irid = 'ratings' AND u.ts > c.ts - 30 GROUP \
+        BY u.uid HAVING COUNT(DISTINCT p.ts * 1000 + p.otid) > 4");
+
+  (* P4: rate limiting — at most 5 queries per user per 10-tick window. *)
+  ignore
+    (Engine.add_policy engine ~name:"rate_limit"
+       "SELECT DISTINCT 'api terms: more than 5 requests in the window' \
+        FROM users u, clock c WHERE u.ts > c.ts - 10 GROUP BY u.uid HAVING \
+        COUNT(DISTINCT u.ts) > 5");
+
+  (* P7: Yelp-style — ratings must stand on their own: joins/unions fine,
+     aggregation prohibited. *)
+  ignore
+    (Engine.add_policy engine ~name:"ratings_no_aggregation"
+       "SELECT DISTINCT 'ratings terms: aggregating or blending star \
+        ratings is prohibited' FROM schema s WHERE s.irid = 'ratings' AND \
+        s.icid = 'stars' AND s.agg = TRUE");
+
+  let submit ~uid sql =
+    Printf.printf "[uid %d] %s\n" uid sql;
+    (match Engine.submit engine ~uid sql with
+    | Engine.Accepted (result, _) ->
+      Printf.printf "  accepted: %d rows\n" (List.length result.Relational.Executor.out_rows)
+    | Engine.Rejected (messages, _) ->
+      List.iter (fun m -> Printf.printf "  REJECTED: %s\n" m) messages);
+    print_newline ()
+  in
+
+  print_endline "== map feed: standalone use fine, overlays stopped ==";
+  submit ~uid:1 "SELECT name FROM maps WHERE poi = 1";
+  submit ~uid:1 "SELECT m.name, s.units FROM maps m, sales s WHERE m.poi = s.poi";
+
+  print_endline "== ratings: joins allowed (P7), aggregation stopped ==";
+  submit ~uid:1
+    "SELECT r.stars, s.units FROM ratings r, sales s WHERE r.poi = s.poi";
+  submit ~uid:1 "SELECT AVG(stars) FROM ratings";
+
+  print_endline "== free tier: the 5th ratings tuple in the window trips the cap ==";
+  submit ~uid:2 "SELECT stars FROM ratings";
+  (* 3 tuples used *)
+  submit ~uid:2 "SELECT stars FROM ratings WHERE poi < 3";
+  (* would make 5 *)
+
+  print_endline "== rate limit: the 6th call in the window is rejected ==";
+  for _ = 1 to 6 do
+    submit ~uid:3 "SELECT name FROM maps WHERE poi = 2"
+  done

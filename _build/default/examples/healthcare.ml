@@ -1,0 +1,68 @@
+(* Healthcare scenario: the paper's motivating MIMIC-II deployment.
+
+   Build and run:  dune exec examples/healthcare.exe
+
+   An ICU research database is shared under a data-use agreement:
+   - P5b (Example 3.1): no query may return an answer tuple that fewer
+     than 10 patients contribute to (re-identification protection);
+   - P2b (Example 3.2): at most 3 distinct student-group users may query
+     the patients table in any 20-tick window.
+
+   The example runs a realistic mix of cohort analyses and shows which
+   are stopped and why, then prints the (compacted) usage log. *)
+
+open Relational
+open Datalawyer
+
+let () =
+  let db = Mimic.Generate.database ~config:Mimic.Generate.small_config () in
+  let engine = Engine.create db in
+
+  ignore
+    (Engine.add_policy engine ~name:"P5b"
+       "SELECT DISTINCT 'P5b: fewer than 10 patients contribute to an answer \
+        tuple' AS errorMessage FROM provenance p WHERE p.irid = 'd_patients' \
+        GROUP BY p.ts, p.otid HAVING COUNT(DISTINCT p.itid) < 10");
+  ignore
+    (Engine.add_policy engine ~name:"P2b"
+       "SELECT DISTINCT 'P2b: more than 3 student users queried patients \
+        within 20 ticks' AS errorMessage FROM users u, schema s, user_groups \
+        g, clock c WHERE u.ts = s.ts AND s.irid = 'd_patients' AND u.uid = \
+        g.uid AND g.gid = 'X' AND u.ts > c.ts - 20 HAVING COUNT(DISTINCT \
+        u.uid) > 3");
+
+  let submit ~uid sql =
+    Printf.printf "[uid %d] %s\n" uid sql;
+    (match Engine.submit engine ~uid sql with
+    | Engine.Accepted (result, _) ->
+      Printf.printf "  accepted: %d rows\n"
+        (List.length result.Executor.out_rows)
+    | Engine.Rejected (messages, _) ->
+      List.iter (fun m -> Printf.printf "  REJECTED: %s\n" m) messages);
+    print_newline ()
+  in
+
+  print_endline "== cohort statistics: coarse aggregates pass P5b ==";
+  submit ~uid:3
+    "SELECT p.sex, COUNT(*) FROM d_patients p GROUP BY p.sex";
+  submit ~uid:3
+    "SELECT p.sex, AVG(c.value) FROM d_patients p, chartevents c WHERE \
+     p.subject_id = c.subject_id AND c.itemid = 211 GROUP BY p.sex";
+
+  print_endline "== attempts to single out a patient are stopped ==";
+  submit ~uid:3 "SELECT sex, dob FROM d_patients WHERE subject_id = 42";
+  submit ~uid:3
+    "SELECT p.dob, COUNT(*) FROM d_patients p WHERE p.subject_id < 3 GROUP BY p.dob";
+
+  print_endline "== group license: the 4th distinct student in the window is stopped ==";
+  (* uids 2,4,6,8 are in group X in the synthetic instance *)
+  List.iter
+    (fun uid ->
+      submit ~uid "SELECT COUNT(*) FROM d_patients")
+    [ 2; 4; 6; 8 ];
+
+  print_endline "== the usage log after the session (compacted) ==";
+  List.iter
+    (fun rel ->
+      Printf.printf "  %-12s %4d rows\n" rel (Engine.log_size engine rel))
+    [ "users"; "schema"; "provenance" ]

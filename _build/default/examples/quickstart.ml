@@ -1,0 +1,57 @@
+(* Quickstart: enforce a terms-of-use policy on a licensed dataset.
+
+   Build and run:  dune exec examples/quickstart.exe
+
+   Scenario: we bought map data from a vendor whose license prohibits
+   joining it with any other dataset (Table 1's policy P1 in the paper).
+   DataLawyer enforces the restriction at query time. *)
+
+open Relational
+open Datalawyer
+
+let () =
+  (* 1. An ordinary database: the licensed table plus our own data. *)
+  let db = Database.create () in
+  ignore
+    (Database.exec_script db
+       {|
+       CREATE TABLE vendor_pois (poi_id INT, name TEXT, lat FLOAT, lon FLOAT);
+       CREATE TABLE our_sales (poi_id INT, revenue INT);
+       INSERT INTO vendor_pois VALUES
+         (1, 'cafe', 47.60, -122.33), (2, 'museum', 47.61, -122.34),
+         (3, 'harbor', 47.62, -122.35);
+       INSERT INTO our_sales VALUES (1, 120), (2, 45), (3, 300)
+       |});
+
+  (* 2. Wrap it in a DataLawyer engine and register the license terms as a
+     policy: a SQL query over the usage log that returns an error message
+     whenever the terms are violated. *)
+  let engine = Engine.create db in
+  ignore
+    (Engine.add_policy engine ~name:"no_overlay"
+       "SELECT DISTINCT 'license violation: vendor_pois may not be combined \
+        with other datasets' AS errorMessage \
+        FROM schema s1, schema s2 \
+        WHERE s1.ts = s2.ts AND s1.irid = 'vendor_pois' AND s2.irid != 'vendor_pois'");
+
+  (* 3. Users submit queries through the engine. Compliant queries run
+     normally... *)
+  let show sql =
+    Printf.printf "> %s\n" sql;
+    match Engine.submit engine ~uid:7 sql with
+    | Engine.Accepted (result, stats) ->
+      print_endline (Database.render result);
+      Format.printf "accepted (policy machinery: %.2fms)@.@."
+        (Stats.overhead stats *. 1000.)
+    | Engine.Rejected (messages, _) ->
+      List.iter (fun m -> Printf.printf "REJECTED: %s\n" m) messages;
+      print_newline ()
+  in
+  show "SELECT name, lat, lon FROM vendor_pois WHERE poi_id = 2";
+  show "SELECT poi_id, revenue FROM our_sales ORDER BY revenue DESC";
+
+  (* ...while violating ones are stopped before execution, with the
+     license clause quoted back at the user. *)
+  show
+    "SELECT v.name, s.revenue FROM vendor_pois v, our_sales s WHERE v.poi_id \
+     = s.poi_id"

@@ -1,0 +1,1 @@
+lib/core/advisor.ml: Analysis Ast Database Format List Policy Printf Relational String Usage_log Value

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Ast Catalog Errors Hashtbl List Option Relational Schema Sql_print String Table

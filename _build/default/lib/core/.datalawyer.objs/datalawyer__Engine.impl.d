@@ -1,0 +1,1 @@
+lib/core/engine.ml: Analysis Array Ast Catalog Database Errors Executor Hashtbl List Option Parser Partial Policy Relational Row Stats String Table Time_independent Unify Usage_log Value Witness

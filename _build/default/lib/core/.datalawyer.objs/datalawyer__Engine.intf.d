@@ -1,0 +1,1 @@
+lib/core/engine.mli: Ast Database Executor Policy Relational Stats Unify Usage_log Value

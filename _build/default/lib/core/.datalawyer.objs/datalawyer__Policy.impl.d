@@ -1,0 +1,1 @@
+lib/core/policy.ml: Analysis Ast Catalog Database Executor Format List Parser Printf Relational Sql_print Usage_log Value

@@ -1,0 +1,1 @@
+lib/core/policy.mli: Ast Catalog Database Format Relational

@@ -1,0 +1,1 @@
+lib/core/pricing.ml: Database Format List Printf Relational String Value

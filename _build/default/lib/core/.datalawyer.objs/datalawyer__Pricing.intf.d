@@ -1,0 +1,1 @@
+lib/core/pricing.mli: Database Format Relational

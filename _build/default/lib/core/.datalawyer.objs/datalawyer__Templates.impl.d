@@ -1,0 +1,1 @@
+lib/core/templates.ml: Buffer List Option Printf String

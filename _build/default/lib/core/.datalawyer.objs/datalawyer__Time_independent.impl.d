@@ -1,0 +1,1 @@
+lib/core/time_independent.ml: Analysis Ast List Policy Relational Usage_log

@@ -1,0 +1,1 @@
+lib/core/time_independent.mli: Ast Policy Relational

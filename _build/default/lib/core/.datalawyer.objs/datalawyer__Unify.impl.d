@@ -1,0 +1,1 @@
+lib/core/unify.ml: Ast Catalog Hashtbl List Policy Printf Relational Schema Sql_print String Table Value

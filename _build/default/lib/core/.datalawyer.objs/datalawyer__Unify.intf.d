@@ -1,0 +1,1 @@
+lib/core/unify.mli: Catalog Policy Relational

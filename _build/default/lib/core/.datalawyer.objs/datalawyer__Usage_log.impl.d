@@ -1,0 +1,1 @@
+lib/core/usage_log.ml: Ast Catalog Database Errors Executor Hashtbl List Option Relational Row Schema Sql_print String Table Ty Value

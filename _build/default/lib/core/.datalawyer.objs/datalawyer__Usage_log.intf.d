@@ -1,0 +1,1 @@
+lib/core/usage_log.mli: Ast Database Relational Ty Value

@@ -1,0 +1,1 @@
+lib/core/witness.ml: Analysis Ast Hashtbl List Option Policy Relational Usage_log Value

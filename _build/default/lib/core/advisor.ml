@@ -1,0 +1,154 @@
+(** Violation diagnosis and remediation advice.
+
+    §6 names "help[ing] users debug queries that are deemed non-compliant"
+    as open work, and the authors' earlier demo ("The Power of Data Use
+    Management in Action") showed an interface that recommends
+    alternative actions. This module implements that layer: given a
+    rejected query and the violated policies, it explains {e why} each
+    policy fired and proposes concrete remediations.
+
+    The diagnosis is structural: it relates the policy's log relations to
+    the features of the rejected query (which relations it joined,
+    whether it aggregated, how many output tuples contributed) and the
+    state of the usage log (how soon a sliding window clears). *)
+
+open Relational
+
+type suggestion = {
+  policy : string;  (** violated policy name *)
+  reason : string;  (** human-readable diagnosis *)
+  actions : string list;  (** proposed remediations *)
+}
+
+let lc = Analysis.lc
+
+(* Relations the query touches, from the schema log-generating analysis. *)
+let touched_relations db query =
+  List.sort_uniq String.compare
+    (List.filter_map
+       (fun row ->
+         match row with
+         | [| _; Value.Str irid; _; _ |] -> Some (lc irid)
+         | _ -> None)
+       (Usage_log.schema_rows db query))
+
+let query_aggregates db query =
+  List.exists
+    (fun row -> match row with [| _; _; _; Value.Bool true |] -> true | _ -> false)
+    (Usage_log.schema_rows db query)
+
+(* The policy's sliding-window width, if it has one: the K of a
+   normalized [x.ts > c.ts - K] predicate. *)
+let window_of (p : Policy.t) : int option =
+  match p.Policy.query with
+  | Ast.Select s ->
+    let clock_aliases =
+      List.filter_map
+        (fun (a, rel) -> if rel = Usage_log.clock_relation then Some a else None)
+        (Analysis.table_occurrences s)
+    in
+    List.find_map
+      (fun c ->
+        match c with
+        | Ast.Binop
+            ( (Ast.Gt | Ast.Ge),
+              Ast.Col (Some _, _),
+              Ast.Binop (Ast.Sub, Ast.Col (Some q, _), Ast.Lit (Value.Int k)) )
+          when List.mem (lc q) clock_aliases ->
+          Some k
+        | _ -> None)
+      (Ast.conjuncts_opt s.Ast.where)
+  | Ast.Union _ -> None
+
+(* Log relations the policy constrains. *)
+let constrained_relations (p : Policy.t) : string list =
+  match p.Policy.query with
+  | Ast.Select s ->
+    List.filter_map
+      (fun c ->
+        match c with
+        | Ast.Binop (Ast.Eq, Ast.Col (_, col), Ast.Lit (Value.Str rel))
+          when lc col = "irid" ->
+          Some (lc rel)
+        | _ -> None)
+      (Ast.conjuncts_opt s.Ast.where)
+  | Ast.Union _ -> []
+
+let has_aggregate_check (p : Policy.t) =
+  match p.Policy.query with
+  | Ast.Select s ->
+    List.exists
+      (fun c ->
+        match c with
+        | Ast.Binop (Ast.Eq, Ast.Col (_, col), Ast.Lit (Value.Bool true))
+          when lc col = "agg" ->
+          true
+        | _ -> false)
+      (Ast.conjuncts_opt s.Ast.where)
+  | Ast.Union _ -> false
+
+let advise (db : Database.t) ~(query : Ast.query) (violated : Policy.t list) :
+    suggestion list =
+  let touched = touched_relations db query in
+  let aggregated = query_aggregates db query in
+  List.map
+    (fun (p : Policy.t) ->
+      let constrained = constrained_relations p in
+      let overlapping = List.filter (fun r -> List.mem r touched) constrained in
+      let window = window_of p in
+      let uses_provenance = List.mem "provenance" p.Policy.log_rels in
+      let uses_schema = List.mem "schema" p.Policy.log_rels in
+      let reason, actions =
+        if has_aggregate_check p && aggregated then
+          ( Printf.sprintf
+              "the query aggregates over %s, which this policy prohibits"
+              (String.concat ", " overlapping),
+            [
+              "remove the aggregation (GROUP BY / COUNT / SUM / AVG) over the \
+               restricted columns";
+              "query the restricted data standalone and aggregate only your \
+               own data";
+            ] )
+        else if uses_schema && List.length overlapping > 0 && List.length touched > 1
+        then
+          ( Printf.sprintf
+              "the query combines the restricted relation %s with: %s"
+              (String.concat ", " overlapping)
+              (String.concat ", "
+                 (List.filter (fun r -> not (List.mem r overlapping)) touched)),
+            [
+              Printf.sprintf "query %s on its own, without joins or unions"
+                (String.concat ", " overlapping);
+              "acquire a license tier that permits combining this dataset";
+            ] )
+        else
+          match window with
+          | Some w ->
+            ( Printf.sprintf
+                "a sliding-window limit over the last %d ticks is exhausted" w,
+              [
+                Printf.sprintf
+                  "wait up to %d ticks for earlier activity to age out of the \
+                   window" w;
+                "spread the workload across the window or reduce its rate";
+              ] )
+          | None ->
+            if uses_provenance then
+              ( "the shape of the query's result violates a per-result \
+                 restriction (e.g. too few or too many contributing tuples)",
+                [
+                  "coarsen the query so more tuples contribute to each answer \
+                   (e.g. aggregate over larger groups)";
+                  "narrow the query so it derives less of the restricted data";
+                ] )
+            else
+              ( "the query conflicts with a usage restriction on the touched \
+                 relations",
+                [ "consult the policy text and adjust the query" ] )
+      in
+      { policy = p.Policy.name; reason; actions })
+    violated
+
+let pp_suggestion ppf (s : suggestion) =
+  Format.fprintf ppf "%s: %s@." s.policy s.reason;
+  List.iter (fun a -> Format.fprintf ppf "  - %s@." a) s.actions

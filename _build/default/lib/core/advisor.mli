@@ -1,0 +1,19 @@
+(** Violation diagnosis and remediation advice — the §6 "help users debug
+    non-compliant queries" direction, after the authors' demo paper.
+
+    Given a rejected query and the violated policies (from
+    {!Engine.last_violations}), produces a structural diagnosis — which
+    restricted relations the query combined, whether it aggregated,
+    whether a sliding window is exhausted — plus concrete remediations. *)
+
+open Relational
+
+type suggestion = {
+  policy : string;  (** violated policy name *)
+  reason : string;  (** human-readable diagnosis *)
+  actions : string list;  (** proposed remediations *)
+}
+
+val advise : Database.t -> query:Ast.query -> Policy.t list -> suggestion list
+
+val pp_suggestion : Format.formatter -> suggestion -> unit

@@ -1,0 +1,47 @@
+(** Shared static-analysis helpers over policy ASTs.
+
+    All policy rewrites operate on {e qualified} queries: every column
+    reference carries its table alias. {!qualify} resolves unqualified
+    references once at registration time so the rewrites can reason
+    purely syntactically afterwards. *)
+
+open Relational
+
+(** [String.lowercase_ascii]. *)
+val lc : string -> string
+
+(** Output column names of a query (resolving through subqueries).
+    @raise Errors.Sql_error on unknown aliases. *)
+val output_columns : Catalog.t -> Ast.query -> string list
+
+(** Qualify every column reference with its source alias.
+    @raise Errors.Sql_error on unknown or ambiguous columns. *)
+val qualify : Catalog.t -> Ast.query -> Ast.query
+
+(** Does the expression reference the given (lowercased) alias? *)
+val expr_refs_alias : Ast.expr -> string -> bool
+
+val expr_refs_any_alias : Ast.expr -> string list -> bool
+
+(** FROM-table occurrences of a select: (lowercased alias, lowercased
+    relation name) pairs; subqueries excluded. *)
+val table_occurrences : Ast.select -> (string * string) list
+
+(** Log-relation names (lowercased) referenced anywhere, including within
+    FROM subqueries. *)
+val log_relations : is_log:(string -> bool) -> Ast.query -> string list
+
+(** Does any FROM subquery (recursively) reference a log relation? *)
+val subquery_uses_log : is_log:(string -> bool) -> Ast.query -> bool
+
+(** Union-find over (alias, column) pairs induced by the equality
+    conjuncts of a WHERE clause; drives the time-independence test,
+    neighborhood computation and predicate saturation. *)
+module Eq_classes : sig
+  type t
+
+  val of_conjuncts : Ast.expr list -> t
+  val find : t -> string * string -> string * string
+  val union : t -> string * string -> string * string -> unit
+  val same : t -> string * string -> string * string -> bool
+end

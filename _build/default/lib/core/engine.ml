@@ -1,0 +1,606 @@
+(** The DataLawyer engine (§4).
+
+    The engine wraps a {!Relational.Database}: users submit queries
+    through {!submit}, which (per Eq. 1) tentatively appends the usage-log
+    increments, checks every policy, and either rejects the query —
+    reverting the log — or persists the (compacted) log and executes the
+    query.
+
+    All optimizations can be toggled independently through {!config}:
+
+    - [`Union] / [`Serial] / [`Interleaved] policy-evaluation strategies
+      (NoOpt's Algorithm 1 uses [`Union]; Algorithm 3 is [`Interleaved]);
+    - time-independent rewriting (§4.1.1);
+    - log compaction via absolute witnesses (§4.1.2);
+    - policy unification (§4.2.2);
+    - preemptive log compaction and improved partial policies (§4.3). *)
+
+open Relational
+
+type strategy = Union_all | Serial | Interleaved
+
+type config = {
+  time_independent : bool;
+  log_compaction : bool;
+  unification : bool;
+  preemptive : bool;
+  improved_partial : bool;
+  strategy : strategy;
+}
+
+(* The NoOpt baseline (Algorithm 1): generate the logs the policies
+   mention, evaluate the union of all policies, never compact. *)
+let noopt_config =
+  {
+    time_independent = false;
+    log_compaction = false;
+    unification = false;
+    preemptive = false;
+    improved_partial = false;
+    strategy = Union_all;
+  }
+
+(* DataLawyer with every optimization enabled (§4.4). *)
+let default_config =
+  {
+    time_independent = true;
+    log_compaction = true;
+    unification = true;
+    preemptive = true;
+    improved_partial = true;
+    strategy = Interleaved;
+  }
+
+type plan = {
+  active : Policy.t list;  (** offline-phase output: post unification / TI *)
+  inter : Policy.t list;  (** interleavable subset (Πmon of §4.4) *)
+  rest : Policy.t list;  (** evaluated fully, one by one *)
+  required : string list;  (** log relations any active policy references *)
+  store_rels : string list;
+      (** log relations referenced by a time-dependent policy: only these
+          ever need persisting *)
+  unified_groups : Unify.group list;
+}
+
+type t = {
+  db : Database.t;
+  mutable config : config;
+  mutable generators : Usage_log.generator list;  (** sorted by rank *)
+  mutable registered : Policy.t list;
+  mutable plan : plan option;
+  mutable last_violations : Policy.t list;
+      (** violated policies of the most recent rejected submission, for
+          {!Advisor}-style diagnosis *)
+}
+
+type outcome =
+  | Accepted of Executor.result * Stats.t
+  | Rejected of string list * Stats.t
+
+let stats_of = function Accepted (_, s) -> s | Rejected (_, s) -> s
+
+let lc = Analysis.lc
+
+let create ?(config = default_config) ?(generators = Usage_log.standard)
+    (db : Database.t) : t =
+  if not (Catalog.mem (Database.catalog db) Usage_log.clock_relation) then
+    Usage_log.install_clock db;
+  let generators =
+    List.sort (fun a b -> compare a.Usage_log.rank b.Usage_log.rank) generators
+  in
+  List.iter
+    (fun g ->
+      if not (Catalog.mem (Database.catalog db) g.Usage_log.relation) then
+        Usage_log.install_relation db g)
+    generators;
+  { db; config; generators; registered = []; plan = None; last_violations = [] }
+
+let database t = t.db
+
+let is_log t rel = Catalog.is_log (Database.catalog t.db) rel
+
+let set_config t config =
+  t.config <- config;
+  t.plan <- None
+
+let register_generator t (g : Usage_log.generator) =
+  if not (Catalog.mem (Database.catalog t.db) g.Usage_log.relation) then
+    Usage_log.install_relation t.db g;
+  t.generators <-
+    List.sort (fun a b -> compare a.Usage_log.rank b.Usage_log.rank)
+      (g :: t.generators);
+  t.plan <- None
+
+let add_policy t ~name sql : Policy.t =
+  if List.exists (fun p -> p.Policy.name = name) t.registered then
+    Errors.catalog_error "policy %s already registered" name;
+  let p =
+    Policy.create (Database.catalog t.db) ~is_log:(is_log t) ~name
+      ~active_from:(Usage_log.current_time t.db) sql
+  in
+  t.registered <- t.registered @ [ p ];
+  t.plan <- None;
+  p
+
+let remove_policy t name =
+  t.registered <- List.filter (fun p -> p.Policy.name <> name) t.registered;
+  t.plan <- None
+
+let policies t = t.registered
+
+(* Offline phase (§4.4) --------------------------------------------------- *)
+
+let compute_plan t : plan =
+  let is_log = is_log t in
+  let ps = t.registered in
+  let ps, unified_groups =
+    if t.config.unification then
+      let o = Unify.run (Database.catalog t.db) ~is_log ps in
+      (o.Unify.policies, o.Unify.groups)
+    else (ps, [])
+  in
+  let ps =
+    if t.config.time_independent then List.map (Time_independent.apply ~is_log) ps
+    else ps
+  in
+  let inter, rest =
+    match t.config.strategy with
+    | Interleaved ->
+      List.partition
+        (fun p -> p.Policy.interleavable || p.Policy.core_prunable)
+        ps
+    | Union_all | Serial -> ([], ps)
+  in
+  let union_rels pols =
+    List.sort_uniq String.compare (List.concat_map (fun p -> p.Policy.log_rels) pols)
+  in
+  {
+    active = ps;
+    inter;
+    rest;
+    required = union_rels ps;
+    store_rels = union_rels (List.filter (fun p -> not p.Policy.ti_rewritten) ps);
+    unified_groups;
+  }
+
+let plan t =
+  match t.plan with
+  | Some p -> p
+  | None ->
+    let p = compute_plan t in
+    t.plan <- Some p;
+    p
+
+let log_size t rel = Table.row_count (Database.table t.db rel)
+
+(* Online phase ------------------------------------------------------------ *)
+
+(* Mutable per-submission record of generated log increments. *)
+type submission = {
+  ctx : Usage_log.query_ctx;
+  stats : Stats.t;
+  generated : (string, Table.savepoint) Hashtbl.t;
+  increment_floor : (string, int) Hashtbl.t;
+      (** first tid of the tentative increment, per relation *)
+}
+
+let generator_for t rel =
+  match List.find_opt (fun g -> lc g.Usage_log.relation = rel) t.generators with
+  | Some g -> g
+  | None -> Errors.catalog_error "no log-generating function for %s" rel
+
+(* Run the log-generating function for [rel] (once) and tentatively append
+   the increment under a savepoint. *)
+let gen_rel t (sub : submission) rel =
+  if not (Hashtbl.mem sub.generated rel) then begin
+    let g = generator_for t rel in
+    let table = Database.table t.db g.Usage_log.relation in
+    Stats.timed
+      (fun d -> sub.stats.Stats.log_track <- sub.stats.Stats.log_track +. d)
+      (fun () ->
+        let rows = g.Usage_log.generate sub.ctx in
+        (* The log is a set: dedupe the increment. *)
+        let seen = Hashtbl.create 16 in
+        let rows =
+          List.filter
+            (fun r ->
+              let k = Value.canonical_key_of_array r in
+              if Hashtbl.mem seen k then false
+              else begin
+                Hashtbl.add seen k ();
+                true
+              end)
+            rows
+        in
+        let sp = Table.savepoint table in
+        Hashtbl.add sub.generated rel sp;
+        let ts = Value.Int sub.ctx.Usage_log.time in
+        let first = ref None in
+        List.iter
+          (fun cells ->
+            let tid = Table.insert table (Array.append [| ts |] cells) in
+            if !first = None then first := Some tid)
+          rows;
+        Hashtbl.add sub.increment_floor rel
+          (Option.value !first ~default:max_int))
+  end
+
+(* Evaluate a policy query; returns the violation message if non-empty. *)
+let eval_query t (sub : submission) ?(track_src = false) (q : Ast.query) :
+    Executor.result option =
+  Stats.timed
+    (fun d -> sub.stats.Stats.policy_eval <- sub.stats.Stats.policy_eval +. d)
+    (fun () ->
+      sub.stats.Stats.policy_calls <- sub.stats.Stats.policy_calls + 1;
+      let opts = { Executor.lineage = false; track_src } in
+      let r = Executor.run ~opts (Database.catalog t.db) q in
+      match r.Executor.out_rows with [] -> None | _ -> Some r)
+
+let message_of_result (p : Policy.t) (r : Executor.result) =
+  match r.Executor.out_rows with
+  | { Executor.values = [| Value.Str m |]; _ } :: _ -> m
+  | _ -> p.Policy.message
+
+(* §4.3 improved partial policies: a non-empty partial result whose rows
+   draw only on committed (pre-increment) log tuples proves the policy
+   still holds, provided the policy's log relations are all ts-joined and
+   the partial query retains at least one log relation. *)
+let independent_of_increment t (sub : submission) (p : Policy.t)
+    (partial_q : Ast.query) : bool =
+  let is_log = is_log t in
+  let ts_joined =
+    match p.Policy.query with
+    | Ast.Select s -> (
+      let log_aliases =
+        List.filter (fun (_, rel) -> is_log rel) (Analysis.table_occurrences s)
+      in
+      match log_aliases with
+      | [] -> false
+      | (a0, _) :: rest ->
+        let classes =
+          Analysis.Eq_classes.of_conjuncts (Ast.conjuncts_opt s.Ast.where)
+        in
+        List.for_all
+          (fun (a, _) -> Analysis.Eq_classes.same classes (a0, "ts") (a, "ts"))
+          rest)
+    | Ast.Union _ -> false
+  in
+  let slot_rels = Partial.from_slot_relations partial_q in
+  let has_log_slot =
+    List.exists (function Some r -> is_log r | None -> false) slot_rels
+  in
+  if not (ts_joined && has_log_slot) then false
+  else
+    match eval_query t sub ~track_src:true partial_q with
+    | None -> true (* raced to empty: certainly independent *)
+    | Some r ->
+      let slot_rel = Array.of_list slot_rels in
+      List.for_all
+        (fun (row : Executor.row_out) ->
+          List.for_all
+            (fun (slot, tid) ->
+              match slot_rel.(slot) with
+              | Some rel when is_log rel -> (
+                match Hashtbl.find_opt sub.increment_floor rel with
+                | Some floor -> tid < floor
+                | None -> true)
+              | _ -> true)
+            row.Executor.src_tids)
+        r.Executor.out_rows
+
+(* Interleaved policy evaluation (Algorithm 3). Returns violations. *)
+let run_interleaved t (sub : submission) (pl : plan) : (Policy.t * string) list =
+  let is_log = is_log t in
+  let needed =
+    List.sort_uniq String.compare
+      (List.concat_map (fun p -> p.Policy.log_rels) pl.inter)
+  in
+  let gens = List.filter (fun g -> List.mem (lc g.Usage_log.relation) needed) t.generators in
+  let remaining = ref pl.inter in
+  let available = ref [] in
+  List.iter
+    (fun g ->
+      if !remaining <> [] then begin
+        let rel = lc g.Usage_log.relation in
+        gen_rel t sub rel;
+        available := rel :: !available;
+        remaining :=
+          List.filter
+            (fun p ->
+              (* Interleavable policies evaluate the genuine πS; policies
+                 admitted via core-prunability evaluate the monotone
+                 HAVING-stripped core instead (empty core ⇒ π empty). *)
+              let pq = Partial.of_query ~is_log ~available:!available p.Policy.query in
+              let pq = if p.Policy.interleavable then pq else Partial.strip_having pq in
+              match eval_query t sub pq with
+              | None -> false (* partial policy empty: π satisfied *)
+              | Some _ when
+                  p.Policy.interleavable && t.config.improved_partial
+                  && independent_of_increment t sub p pq ->
+                false
+              | Some _ -> true)
+            !remaining
+      end)
+    gens;
+  (* Policies still standing are evaluated in full: interleavable ones are
+     genuine violations (S covers their relations), core-pruned ones may
+     still be saved by their HAVING. *)
+  List.filter_map
+    (fun p ->
+      match eval_query t sub p.Policy.query with
+      | Some r -> Some (p, message_of_result p r)
+      | None -> None)
+    !remaining
+
+(* Serial / union evaluation over a policy list. *)
+let run_serial t (sub : submission) (ps : Policy.t list) : (Policy.t * string) list =
+  List.iter (fun p -> List.iter (gen_rel t sub) p.Policy.log_rels) ps;
+  List.filter_map
+    (fun p ->
+      match eval_query t sub p.Policy.query with
+      | Some r -> Some (p, message_of_result p r)
+      | None -> None)
+    ps
+
+let run_union t (sub : submission) (ps : Policy.t list) : (Policy.t * string) list =
+  match ps with
+  | [] -> []
+  | first :: others ->
+    List.iter (fun p -> List.iter (gen_rel t sub) p.Policy.log_rels) ps;
+    let union_q =
+      List.fold_left
+        (fun acc p ->
+          Ast.Union { all = false; left = acc; right = p.Policy.query })
+        first.Policy.query others
+    in
+    (match eval_query t sub union_q with
+    | None -> []
+    | Some r ->
+      let messages =
+        List.filter_map
+          (fun (row : Executor.row_out) ->
+            match row.Executor.values with
+            | [| Value.Str m |] -> Some m
+            | _ -> None)
+          r.Executor.out_rows
+        |> List.sort_uniq String.compare
+      in
+      List.filter_map
+        (fun p ->
+          if List.mem p.Policy.message messages then Some (p, p.Policy.message)
+          else None)
+        ps
+      |> fun hits ->
+      if hits = [] then List.map (fun m -> (first, m)) messages else hits)
+
+(* Log compaction (Algorithm 2 + §4.3 preemptive check) ------------------- *)
+
+type mark = Mark_all | Mark_tids of (int, unit) Hashtbl.t
+
+(* Execute one witness query, adding the retained slot-0 tids to [acc]. *)
+let run_witness t (sub : submission) (w : Ast.select) (acc : (int, unit) Hashtbl.t) =
+  let opts = { Executor.lineage = false; track_src = true } in
+  let r = Executor.run ~opts (Database.catalog t.db) (Ast.Select w) in
+  List.iter
+    (fun (row : Executor.row_out) ->
+      List.iter
+        (fun (slot, tid) -> if slot = 0 then Hashtbl.replace acc tid ())
+        row.Executor.src_tids)
+    r.Executor.out_rows;
+  ignore sub
+
+(* §4.3 preemptive log compaction: before generating relation [rel] just
+   for storage, test whether its witnesses could possibly retain any tuple
+   of the would-be increment, using only the already-generated logs. The
+   witness's neighborhood relations all ts-equijoin the target, and the
+   increment lives at the current timestamp, so the probe pins every
+   surviving log relation to [ts = now]. Witness queries are monotone, so
+   an empty probe implies an empty increment witness. *)
+let preemptively_empty t (sub : submission) ~(now : int) (rel : string)
+    (policies : Policy.t list) : bool =
+  let is_log = is_log t in
+  let available = Hashtbl.fold (fun r _ acc -> r :: acc) sub.generated [] in
+  List.for_all
+    (fun p ->
+      match List.assoc_opt rel (Witness.for_policy ~is_log ~now p) with
+      | None -> true
+      | Some Witness.Keep_all -> false
+      | Some (Witness.Queries qs) ->
+        List.for_all
+          (fun (w : Ast.select) ->
+            (* Boolean probe of the witness restricted to generated logs. *)
+            let probe =
+              { w with Ast.items = [ Ast.Sel_expr (Ast.Lit (Value.Int 1), None) ];
+                       distinct = Ast.All }
+            in
+            let pq = Partial.of_select ~is_log ~available probe in
+            if pq.Ast.from = [] then false (* nothing left to test: generate *)
+            else begin
+              let pins =
+                List.filter_map
+                  (fun (alias, r) ->
+                    if is_log r then
+                      Some
+                        (Ast.Binop
+                           ( Ast.Eq,
+                             Ast.Col (Some alias, "ts"),
+                             Ast.Lit (Value.Int now) ))
+                    else None)
+                  (Analysis.table_occurrences pq)
+              in
+              let pq =
+                { pq with Ast.where = Ast.conjoin (Ast.conjuncts_opt pq.Ast.where @ pins) }
+              in
+              Executor.is_empty (Database.catalog t.db) (Ast.Select pq)
+            end)
+          qs)
+    (List.filter (fun p -> List.mem rel p.Policy.log_rels) policies)
+
+(* The commit path: compaction + persistence of the log increments. *)
+let commit_logs t (sub : submission) (pl : plan) ~(now : int) =
+  let stats = sub.stats in
+  let is_log = is_log t in
+  if not t.config.log_compaction then begin
+    (* Persist increments of time-dependent relations; discard the rest. *)
+    Stats.timed
+      (fun d -> stats.Stats.compact_insert <- stats.Stats.compact_insert +. d)
+      (fun () ->
+        Hashtbl.iter
+          (fun rel sp ->
+            let table = Database.table t.db rel in
+            if List.mem rel pl.store_rels then begin
+              stats.Stats.rows_logged <-
+                stats.Stats.rows_logged + List.length (Table.rows_since table sp);
+              Table.release table sp
+            end
+            else Table.rollback_to table sp)
+          sub.generated)
+  end
+  else begin
+    (* Time-dependent policies that still need the log. *)
+    let td_policies =
+      List.filter
+        (fun p -> (not p.Policy.ti_rewritten) && p.Policy.log_rels <> [])
+        pl.active
+    in
+    (* Preemptive check for relations not generated during evaluation. *)
+    let skipped = Hashtbl.create 4 in
+    List.iter
+      (fun rel ->
+        if not (Hashtbl.mem sub.generated rel) then
+          if t.config.preemptive && preemptively_empty t sub ~now rel td_policies
+          then Hashtbl.replace skipped rel ()
+          else gen_rel t sub rel)
+      pl.store_rels;
+    (* Mark phase: run every witness query, collecting retained tids. *)
+    let marks : (string, mark) Hashtbl.t = Hashtbl.create 4 in
+    List.iter
+      (fun rel ->
+        if not (Hashtbl.mem skipped rel) then
+          Hashtbl.replace marks rel (Mark_tids (Hashtbl.create 64)))
+      pl.store_rels;
+    Stats.timed
+      (fun d -> stats.Stats.compact_mark <- stats.Stats.compact_mark +. d)
+      (fun () ->
+        List.iter
+          (fun p ->
+            List.iter
+              (fun (rel, w) ->
+                match Hashtbl.find_opt marks rel with
+                | None -> () (* skipped or not stored *)
+                | Some Mark_all -> ()
+                | Some (Mark_tids acc) -> (
+                  match w with
+                  | Witness.Keep_all -> Hashtbl.replace marks rel Mark_all
+                  | Witness.Queries qs -> List.iter (fun q -> run_witness t sub q acc) qs))
+              (Witness.for_policy ~is_log ~now p))
+          td_policies);
+    (* Delete + insert phases per relation. *)
+    List.iter
+      (fun rel ->
+        let table = Database.table t.db rel in
+        let increment, sp =
+          match Hashtbl.find_opt sub.generated rel with
+          | Some sp -> (Table.rows_since table sp, Some sp)
+          | None -> ([], None)
+        in
+        Option.iter (fun sp -> Table.rollback_to table sp) sp;
+        let mark = Hashtbl.find_opt marks rel in
+        (match mark with
+        | None ->
+          (* Relation skipped preemptively: nothing retained, nothing
+             stored; committed rows keep their previous marks. *)
+          ()
+        | Some Mark_all -> ()
+        | Some (Mark_tids keep) ->
+          Stats.timed
+            (fun d -> stats.Stats.compact_delete <- stats.Stats.compact_delete +. d)
+            (fun () -> ignore (Table.retain_tids table keep)));
+        (* Insert the retained part of the increment. *)
+        Stats.timed
+          (fun d -> stats.Stats.compact_insert <- stats.Stats.compact_insert +. d)
+          (fun () ->
+            List.iter
+              (fun row ->
+                let keep =
+                  match mark with
+                  | None -> false
+                  | Some Mark_all -> true
+                  | Some (Mark_tids keep) -> Hashtbl.mem keep (Row.tid row)
+                in
+                if keep then begin
+                  ignore (Table.insert table (Row.cells row));
+                  stats.Stats.rows_logged <- stats.Stats.rows_logged + 1
+                end)
+              increment))
+      pl.store_rels;
+    (* Roll back increments of relations generated for evaluation only. *)
+    Hashtbl.iter
+      (fun rel sp ->
+        if not (List.mem rel pl.store_rels) then
+          Table.rollback_to (Database.table t.db rel) sp)
+      sub.generated
+  end;
+  (* All savepoints are resolved now: a later failure (e.g. in the user
+     query) must not attempt to roll them back again. *)
+  Hashtbl.reset sub.generated
+
+(* Submission -------------------------------------------------------------- *)
+
+let submit_ast t ~(uid : int) ?(extra = []) (query : Ast.query) : outcome =
+  let pl = plan t in
+  let now = Usage_log.current_time t.db + 1 in
+  Usage_log.set_clock t.db now;
+  let sub =
+    {
+      ctx = { Usage_log.uid; time = now; query; db = t.db; extra };
+      stats = Stats.create ();
+      generated = Hashtbl.create 4;
+      increment_floor = Hashtbl.create 4;
+    }
+  in
+  let rollback_all () =
+    Hashtbl.iter
+      (fun rel sp -> Table.rollback_to (Database.table t.db rel) sp)
+      sub.generated
+  in
+  (* Any failure during checking (e.g. the user query itself is invalid
+     and breaks the provenance function) must revert the tentative log,
+     or the leaked savepoints would poison later submissions. *)
+  match
+    let violations =
+      match t.config.strategy with
+      | Union_all -> run_union t sub pl.active
+      | Serial -> run_serial t sub pl.active
+      | Interleaved ->
+        (* Algorithm 3 on the interleavable policies, then the rest in
+           full, as in the §4.4 online phase. *)
+        let v1 = run_interleaved t sub pl in
+        let v2 = run_serial t sub pl.rest in
+        v1 @ v2
+    in
+    t.last_violations <- List.map fst violations;
+    if violations <> [] then begin
+      (* Reject: revert the tentative log (Eq. 1). *)
+      rollback_all ();
+      Rejected (List.map snd violations, sub.stats)
+    end
+    else begin
+      commit_logs t sub pl ~now;
+      let result =
+        Stats.timed
+          (fun d -> sub.stats.Stats.query_exec <- sub.stats.Stats.query_exec +. d)
+          (fun () -> Executor.run (Database.catalog t.db) query)
+      in
+      Accepted (result, sub.stats)
+    end
+  with
+  | outcome -> outcome
+  | exception e ->
+    rollback_all ();
+    raise e
+
+let submit t ~uid ?extra sql = submit_ast t ~uid ?extra (Parser.query sql)
+
+(* Violated policies of the most recent rejected submission. *)
+let last_violations t = t.last_violations

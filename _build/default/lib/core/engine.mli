@@ -1,0 +1,91 @@
+(** The DataLawyer engine (§4).
+
+    The engine wraps a {!Relational.Database}: users submit queries
+    through {!submit}, which (per Eq. 1) tentatively appends the
+    usage-log increments, checks every policy, and either rejects the
+    query — reverting the log — or persists the (compacted) log and
+    executes the query. *)
+
+open Relational
+
+(** How the policy set is evaluated per query. *)
+type strategy =
+  | Union_all  (** one big UNION of all policies (Algorithm 1 / NoOpt) *)
+  | Serial  (** one call per policy *)
+  | Interleaved  (** Algorithm 3: partial policies interleaved with log
+                     generation, pruning early *)
+
+type config = {
+  time_independent : bool;  (** §4.1.1 rewriting *)
+  log_compaction : bool;  (** §4.1.2 absolute-witness compaction *)
+  unification : bool;  (** §4.2.2 *)
+  preemptive : bool;  (** §4.3 preemptive log compaction *)
+  improved_partial : bool;  (** §4.3 improved partial policies *)
+  strategy : strategy;
+}
+
+(** The NoOpt baseline of Algorithm 1: generate only the logs the
+    policies mention, evaluate their union, never compact. *)
+val noopt_config : config
+
+(** Every optimization enabled (§4.4). *)
+val default_config : config
+
+(** The offline phase's output. *)
+type plan = {
+  active : Policy.t list;  (** post unification / TI rewriting *)
+  inter : Policy.t list;  (** policies in the interleaved loop *)
+  rest : Policy.t list;  (** evaluated fully, one by one *)
+  required : string list;  (** log relations any active policy references *)
+  store_rels : string list;
+      (** log relations referenced by a time-dependent policy: only these
+          ever need persisting *)
+  unified_groups : Unify.group list;
+}
+
+type t
+
+type outcome =
+  | Accepted of Executor.result * Stats.t
+  | Rejected of string list * Stats.t  (** violation messages *)
+
+val stats_of : outcome -> Stats.t
+
+(** Wrap a database. Installs the clock and the given log relations
+    (default: {!Usage_log.standard}) if absent. *)
+val create : ?config:config -> ?generators:Usage_log.generator list -> Database.t -> t
+
+val database : t -> Database.t
+
+(** Replace the configuration; invalidates the offline plan. *)
+val set_config : t -> config -> unit
+
+(** Register an additional log-generating function (§6 extensibility). *)
+val register_generator : t -> Usage_log.generator -> unit
+
+(** Register a policy from SQL text; its history starts now.
+    @raise Errors.Sql_error on malformed SQL or duplicate names. *)
+val add_policy : t -> name:string -> string -> Policy.t
+
+val remove_policy : t -> string -> unit
+
+(** Registered policies, as written (before unification/rewriting). *)
+val policies : t -> Policy.t list
+
+(** The current offline-phase plan (recomputed lazily). *)
+val plan : t -> plan
+
+(** Row count of a log relation. *)
+val log_size : t -> string -> int
+
+(** Check-and-execute one query (the §4.4 online phase). [extra] is
+    passed to custom log-generating functions. *)
+val submit :
+  t -> uid:int -> ?extra:(string * Value.t) list -> string -> outcome
+
+val submit_ast :
+  t -> uid:int -> ?extra:(string * Value.t) list -> Ast.query -> outcome
+
+(** Violated policies of the most recent rejected submission (for
+    {!Advisor} diagnosis); empty after an accepted one. *)
+val last_violations : t -> Policy.t list

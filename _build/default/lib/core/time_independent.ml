@@ -1,0 +1,54 @@
+(** Time-independent policy rewriting (§4.1.1).
+
+    A time-independent policy holds on the whole log iff it holds on the
+    current increment, because every past prefix was already checked. The
+    rewriting [π → π_ind] adds a [clock] atom and pins one log [ts] to
+    the current time; combined with the ts-equijoin requirement this
+    restricts evaluation to the increment, and makes the policy's log
+    witnesses empty (Example 4.4), so nothing need ever be stored for it. *)
+
+open Relational
+
+let clock_alias = "dl_clk"
+
+(* Rewrite a (qualified, time-independent) policy query. *)
+let rewrite ~(is_log : string -> bool) (q : Ast.query) : Ast.query =
+  let rewrite_select (s : Ast.select) : Ast.select =
+    let log_aliases =
+      List.filter_map
+        (fun (alias, rel) -> if is_log rel then Some alias else None)
+        (Analysis.table_occurrences s)
+    in
+    match log_aliases with
+    | [] -> s
+    | a0 :: _ ->
+      (* All log ts attributes are already equated (the policy passed the
+         time-independence test), so pinning one representative to the
+         clock pins them all. *)
+      let clock_item =
+        Ast.From_table { name = Usage_log.clock_relation; alias = Some clock_alias }
+      in
+      let pin =
+        Ast.Binop
+          (Ast.Eq, Ast.Col (Some a0, "ts"), Ast.Col (Some clock_alias, "ts"))
+      in
+      {
+        s with
+        from = s.from @ [ clock_item ];
+        where = Ast.conjoin (Ast.conjuncts_opt s.where @ [ pin ]);
+      }
+  in
+  match q with
+  | Ast.Select s -> Ast.Select (rewrite_select s)
+  | Ast.Union _ as u ->
+    (* Union policies: rewrite each branch. *)
+    let rec go = function
+      | Ast.Select s -> Ast.Select (rewrite_select s)
+      | Ast.Union { all; left; right } -> Ast.Union { all; left = go left; right = go right }
+    in
+    go u
+
+let apply ~is_log (p : Policy.t) : Policy.t =
+  if p.Policy.time_independent && not p.Policy.ti_rewritten then
+    { p with Policy.query = rewrite ~is_log p.Policy.query; ti_rewritten = true }
+  else p

@@ -1,0 +1,20 @@
+(** Time-independent policy rewriting (§4.1.1).
+
+    A time-independent policy holds on the whole log iff it holds on the
+    current increment, because every past prefix was already checked. The
+    rewriting adds a [clock] atom and pins one log [ts] to the current
+    time; combined with the ts-equijoin requirement this restricts
+    evaluation to the increment and makes the policy's witnesses empty
+    (Example 4.4), so nothing need ever be stored for it. *)
+
+open Relational
+
+(** Alias used for the injected clock atom. *)
+val clock_alias : string
+
+(** Rewrite a (qualified, time-independent) query. *)
+val rewrite : is_log:(string -> bool) -> Ast.query -> Ast.query
+
+(** Apply the rewriting when the policy is classified time-independent
+    and not already rewritten; otherwise identity. *)
+val apply : is_log:(string -> bool) -> Policy.t -> Policy.t

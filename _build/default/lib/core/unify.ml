@@ -1,0 +1,182 @@
+(** Policy unification (§4.2.2).
+
+    Policies that are structurally identical except for a single literal
+    constant (e.g. one rate-limit policy per user group) are consolidated
+    into one policy that joins against a generated constants table and
+    groups by the constant — Example 4.6. Evaluation cost then stays
+    constant in the number of unified policies (Fig. 5).
+
+    Policies are grouped by their {e shape}: the query with every literal
+    (and the error-message projection) replaced by a placeholder. A group
+    unifies when its members' literal vectors differ in exactly one
+    non-message position and the differing values share a type. *)
+
+open Relational
+
+type group = {
+  policy : Policy.t;  (** the unified replacement policy *)
+  members : Policy.t list;  (** original policies it subsumes *)
+  constants_table : string;
+}
+
+type outcome = { policies : Policy.t list; groups : group list }
+
+let placeholder = Value.Str "\x00dl_placeholder"
+
+let constants_alias = "dl_consts"
+
+(* The shape key of a policy query. *)
+let shape_key (q : Ast.query) : string =
+  let masked =
+    List.fold_left
+      (fun q (site : Ast.lit_site) ->
+        Ast.query_map_literal q ~path:site.Ast.path ~f:(fun _ -> Ast.Lit placeholder))
+      q (Ast.query_literals q)
+  in
+  Sql_print.query masked
+
+let is_message_path (path : string) =
+  (* Literal inside a top-level select item: path "q.i<k>..." *)
+  String.length path > 3 && String.sub path 0 3 = "q.i"
+
+(* Try to unify one shape-group of policies. *)
+let unify_group (cat : Catalog.t) ~(is_log : string -> bool) ~(index : int)
+    (ps : Policy.t list) : group option =
+  match ps with
+  | [] | [ _ ] -> None
+  | first :: _ ->
+    let sites = List.map (fun p -> Ast.query_literals p.Policy.query) ps in
+    let nsites = List.length (List.hd sites) in
+    if List.exists (fun s -> List.length s <> nsites) sites then None
+    else begin
+      (* Positions whose values differ across members. *)
+      let differing =
+        List.filter
+          (fun i ->
+            let vals =
+              List.map (fun s -> (List.nth s i : Ast.lit_site).Ast.value) sites
+            in
+            match vals with
+            | v :: vs -> not (List.for_all (Value.equal v) vs)
+            | [] -> false)
+          (List.init nsites (fun i -> i))
+      in
+      let differing_non_msg =
+        List.filter
+          (fun i -> not (is_message_path (List.nth (List.hd sites) i).Ast.path))
+          differing
+      in
+      match differing_non_msg with
+      | [ pos ] -> (
+        let path = (List.nth (List.hd sites) pos).Ast.path in
+        let values =
+          List.map (fun s -> (List.nth s pos : Ast.lit_site).Ast.value) sites
+        in
+        match Value.type_of (List.hd values) with
+        | None -> None
+        | Some ty
+          when List.for_all (fun v -> Value.type_of v = Some ty) values ->
+          (* Create (or refresh) the constants table. *)
+          let table_name = Printf.sprintf "dl_constants_%d" index in
+          if Catalog.mem cat table_name then Catalog.drop cat table_name;
+          let table =
+            Catalog.create_table cat ~name:table_name
+              ~schema:(Schema.make [ ("const", ty) ])
+          in
+          let seen = Hashtbl.create 8 in
+          List.iter
+            (fun v ->
+              let k = Value.canonical_key v in
+              if not (Hashtbl.mem seen k) then begin
+                Hashtbl.add seen k ();
+                ignore (Table.insert table [| v |])
+              end)
+            values;
+          (* Rewrite the first member's query. *)
+          let const_ref = Ast.Col (Some constants_alias, "const") in
+          let q =
+            Ast.query_map_literal first.Policy.query ~path ~f:(fun _ -> const_ref)
+          in
+          let q =
+            match q with
+            | Ast.Select s ->
+              let has_agg =
+                s.having <> None
+                || List.exists
+                     (function
+                       | Ast.Sel_expr (e, _) -> Ast.expr_has_agg e
+                       | _ -> false)
+                     s.items
+              in
+              Ast.Select
+                {
+                  s with
+                  from =
+                    s.from
+                    @ [
+                        Ast.From_table
+                          { name = table_name; alias = Some constants_alias };
+                      ];
+                  group_by =
+                    (if has_agg then s.group_by @ [ const_ref ] else s.group_by);
+                }
+            | q -> q
+          in
+          let message =
+            Printf.sprintf "%s (unified over %d policies)" first.Policy.message
+              (List.length ps)
+          in
+          (* Swap the error-message literal for the unified message. *)
+          let q =
+            match q with
+            | Ast.Select ({ items = Ast.Sel_expr (Ast.Lit (Value.Str _), a) :: rest; _ } as s)
+              ->
+              Ast.Select
+                {
+                  s with
+                  items = Ast.Sel_expr (Ast.Lit (Value.Str message), a) :: rest;
+                }
+            | q -> q
+          in
+          let policy =
+            {
+              (Policy.with_query ~is_log first q) with
+              Policy.name = Printf.sprintf "unified_%d" index;
+              message;
+            }
+          in
+          Some { policy; members = ps; constants_table = table_name }
+        | Some _ -> None)
+      | _ -> None
+    end
+
+(* Run unification over a policy set. Policies that do not unify are
+   returned unchanged. *)
+let run (cat : Catalog.t) ~(is_log : string -> bool) (policies : Policy.t list) :
+    outcome =
+  let by_shape = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun p ->
+      let key = shape_key p.Policy.query in
+      match Hashtbl.find_opt by_shape key with
+      | Some cell -> cell := p :: !cell
+      | None ->
+        Hashtbl.add by_shape key (ref [ p ]);
+        order := key :: !order)
+    policies;
+  let counter = ref 0 in
+  let groups = ref [] in
+  let out = ref [] in
+  List.iter
+    (fun key ->
+      let members = List.rev !(Hashtbl.find by_shape key) in
+      let idx = !counter in
+      incr counter;
+      match unify_group cat ~is_log ~index:idx members with
+      | Some g ->
+        groups := g :: !groups;
+        out := g.policy :: !out
+      | None -> out := List.rev_append (List.rev members) !out)
+    (List.rev !order);
+  { policies = List.rev !out; groups = List.rev !groups }

@@ -1,0 +1,24 @@
+(** Policy unification (§4.2.2).
+
+    Policies structurally identical except for a single literal constant
+    are consolidated into one policy that joins a generated constants
+    table and groups by the constant (Example 4.6), making evaluation
+    cost constant in the number of unified policies (Fig. 5). *)
+
+open Relational
+
+type group = {
+  policy : Policy.t;  (** the unified replacement policy *)
+  members : Policy.t list;  (** original policies it subsumes *)
+  constants_table : string;  (** the generated [dl_constants_<k>] table *)
+}
+
+type outcome = { policies : Policy.t list; groups : group list }
+
+(** Alias under which the constants table is joined (["dl_consts"]). *)
+val constants_alias : string
+
+(** Group policies by shape and unify the eligible groups; creates (or
+    refreshes) the constants tables in the catalog. Policies that do not
+    unify are returned unchanged, in order. *)
+val run : Catalog.t -> is_log:(string -> bool) -> Policy.t list -> outcome

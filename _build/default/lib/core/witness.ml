@@ -1,0 +1,274 @@
+(** Absolute-witness computation for log compaction (§4.1.2).
+
+    For a policy π and a log relation [Ri], an {e absolute witness} is a
+    subset of [Ri] sufficient to evaluate π now and at every future time
+    (Def. 4.1). Witnesses are built as queries over the current log
+    following Lemmas 4.1–4.3:
+
+    - Lemma 4.1 (full queries / policies with HAVING): semijoin-reduce
+      [Ri] against its ts-equijoin neighborhood and the policy's database
+      relations, keeping the applicable predicates.
+    - Lemma 4.2 (Boolean policies): additionally keep only one tuple per
+      combination of [Ri]'s join attributes, via [DISTINCT ON].
+    - Lemma 4.3 (clock): normalize clock predicates to [c.ts op expr],
+      drop lower bounds on the clock, and freeze upper bounds at
+      [currenttime + 1]. Policies with an unsupported clock predicate
+      (e.g. [!=]) are not compacted at all.
+
+    Algorithm 2's recursion handles FROM subqueries: each subquery is
+    compacted separately as a full query, and the witnesses are unioned.
+
+    The produced witness queries always place the target occurrence of
+    [Ri] at FROM slot 0, so the engine can execute them in source-tid
+    tracking mode and mark the retained tuples in place. *)
+
+open Relational
+
+type t =
+  | Keep_all  (** no compaction possible: retain the whole relation *)
+  | Queries of Ast.select list
+      (** union of witness queries; slot 0 is the target occurrence *)
+
+let lc = Analysis.lc
+
+let merge a b =
+  match a, b with
+  | Keep_all, _ | _, Keep_all -> Keep_all
+  | Queries x, Queries y -> Queries (x @ y)
+
+(* Clock predicate normalization (Lemma 4.3) ----------------------------- *)
+
+let flip = function
+  | Ast.Lt -> Ast.Gt
+  | Ast.Le -> Ast.Ge
+  | Ast.Gt -> Ast.Lt
+  | Ast.Ge -> Ast.Le
+  | op -> op
+
+(* Isolate [clk.ts op expr] from a comparison conjunct; the clock side may
+   be wrapped in +/- arithmetic. Returns [None] when the predicate cannot
+   be normalized (which disables compaction for the whole policy). *)
+let isolate_clock ~(clock_aliases : string list) (conj : Ast.expr) :
+    [ `NoClock | `Clock of Ast.binop * Ast.expr | `Unsupported ] =
+  let mentions e = Analysis.expr_refs_any_alias e clock_aliases in
+  if not (mentions conj) then `NoClock
+  else
+    let rec isolate op lhs rhs =
+      (* invariant: [lhs] mentions the clock, [rhs] does not *)
+      match lhs with
+      | Ast.Col (Some q, c) when List.mem (lc q) clock_aliases && lc c = "ts" ->
+        Some (op, rhs)
+      | Ast.Binop (Ast.Add, a, b) when mentions a && not (mentions b) ->
+        isolate op a (Ast.Binop (Ast.Sub, rhs, b))
+      | Ast.Binop (Ast.Add, a, b) when mentions b && not (mentions a) ->
+        isolate op b (Ast.Binop (Ast.Sub, rhs, a))
+      | Ast.Binop (Ast.Sub, a, b) when mentions a && not (mentions b) ->
+        isolate op a (Ast.Binop (Ast.Add, rhs, b))
+      | Ast.Binop (Ast.Sub, a, b) when mentions b && not (mentions a) ->
+        isolate (flip op) b (Ast.Binop (Ast.Sub, a, rhs))
+      | _ -> None
+    in
+    match conj with
+    | Ast.Binop (((Ast.Eq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op), l, r) -> (
+      let attempt =
+        if mentions l && not (mentions r) then isolate op l r
+        else if mentions r && not (mentions l) then isolate (flip op) r l
+        else None
+      in
+      match attempt with Some (op, e) -> `Clock (op, e) | None -> `Unsupported)
+    | _ -> `Unsupported
+
+(* Apply Lemma 4.3's transformation at compaction time [now]. Returns the
+   rewritten conjuncts (possibly none, when the predicate is dropped). *)
+let freeze_clock_predicate ~now (op : Ast.binop) (e : Ast.expr) : Ast.expr list =
+  let frontier = Ast.Lit (Value.Int (now + 1)) in
+  match op with
+  | Ast.Gt | Ast.Ge -> []
+  | Ast.Lt -> [ Ast.Binop (Ast.Lt, frontier, e) ]
+  | Ast.Le -> [ Ast.Binop (Ast.Le, frontier, e) ]
+  | Ast.Eq -> [ Ast.Binop (Ast.Le, frontier, e) ]
+  | _ -> assert false
+
+(* Witnesses for one SELECT ------------------------------------------------ *)
+
+(* Compute, for every log relation occurring in [s], its witness queries.
+   Returns an association list keyed by (lowercased) log relation name. *)
+let for_select ~(is_log : string -> bool) ~(now : int) (s : Ast.select) :
+    (string * t) list =
+  let occs = Analysis.table_occurrences s in
+  let clock_aliases =
+    List.filter_map
+      (fun (a, rel) -> if rel = Usage_log.clock_relation then Some a else None)
+      occs
+  in
+  let log_occs = List.filter (fun (_, rel) -> is_log rel) occs in
+  let db_items =
+    List.filter
+      (fun fi ->
+        match fi with
+        | Ast.From_table { name; _ } ->
+          let rel = lc name in
+          (not (is_log rel)) && rel <> Usage_log.clock_relation
+        | Ast.From_subquery _ -> false)
+      s.from
+  in
+  if log_occs = [] then []
+  else begin
+    (* 1. Normalize clock predicates. *)
+    let conjuncts = Ast.conjuncts_opt s.where in
+    let normalized =
+      List.map
+        (fun c ->
+          match c with
+          | Ast.Binop (Ast.Neq, _, _)
+            when Analysis.expr_refs_any_alias c clock_aliases ->
+            `Unsupported
+          | _ -> (
+            match isolate_clock ~clock_aliases c with
+            | `NoClock -> `Plain c
+            | `Clock (op, e) -> `Clock (op, e)
+            | `Unsupported -> `Unsupported))
+        conjuncts
+    in
+    if List.mem `Unsupported normalized then
+      (* Paper: no compaction for policies with unsupported clock use. *)
+      List.map (fun (_, rel) -> (rel, Keep_all)) log_occs
+    else begin
+      let plain =
+        List.filter_map (function `Plain c -> Some c | _ -> None) normalized
+      in
+      let clock_derived =
+        List.concat_map
+          (function
+            | `Clock (op, e) -> List.map (fun c -> (c, true)) (freeze_clock_predicate ~now op e)
+            | _ -> [])
+          normalized
+      in
+      let tagged = List.map (fun c -> (c, false)) plain @ clock_derived in
+      (* 2. ts-equijoin neighborhood over log occurrences. *)
+      let log_aliases = List.map fst log_occs in
+      let ts_edges =
+        List.filter_map
+          (fun c ->
+            match c with
+            | Ast.Binop (Ast.Eq, Ast.Col (Some qa, ca), Ast.Col (Some qb, cb))
+              when lc ca = "ts" && lc cb = "ts"
+                   && List.mem (lc qa) log_aliases
+                   && List.mem (lc qb) log_aliases ->
+              Some (Ast.Binop (Ast.Eq, Ast.Col (Some (lc qa), "ts"),
+                               Ast.Col (Some (lc qb), "ts")))
+            | _ -> None)
+          plain
+      in
+      let classes = Analysis.Eq_classes.of_conjuncts ts_edges in
+      let neighborhood target_alias =
+        List.filter
+          (fun (a, _) ->
+            a <> target_alias
+            && Analysis.Eq_classes.same classes (target_alias, "ts") (a, "ts"))
+          log_occs
+      in
+      (* Aliases kept for a given target, and their FROM items. *)
+      let from_item_of alias =
+        List.find
+          (fun fi -> lc (Ast.from_item_alias fi) = alias)
+          s.from
+      in
+      let boolean = s.having = None && s.group_by = [] in
+      let witness_for (target_alias, _rel) : Ast.select =
+        let kept_aliases =
+          target_alias
+          :: List.map fst (neighborhood target_alias)
+          @ List.map (fun fi -> lc (Ast.from_item_alias fi)) db_items
+        in
+        let applicable =
+          List.filter
+            (fun (c, _) ->
+              List.for_all
+                (fun q ->
+                  match q with
+                  | Some q -> List.mem (lc q) kept_aliases
+                  | None -> true)
+                (Ast.expr_qualifiers c))
+            tagged
+        in
+        let where = Ast.conjoin (List.map fst applicable) in
+        let from =
+          from_item_of target_alias
+          :: List.map (fun (a, _) -> from_item_of a) (neighborhood target_alias)
+          @ db_items
+        in
+        let distinct =
+          if not boolean then Ast.All
+          else begin
+            (* Lemma 4.2's X: attributes of the target occurring in join
+               predicates; clock-derived predicates count as joins. *)
+            let x = ref [] in
+            List.iter
+              (fun (c, from_clock) ->
+                let quals =
+                  List.filter_map (Option.map lc) (Ast.expr_qualifiers c)
+                in
+                let joins_elsewhere =
+                  from_clock
+                  || List.exists (fun q -> q <> target_alias) quals
+                in
+                if joins_elsewhere && List.mem target_alias quals then
+                  Ast.iter_expr
+                    (function
+                      | Ast.Col (Some q, col) when lc q = target_alias ->
+                        let e = Ast.Col (Some target_alias, col) in
+                        if not (List.mem e !x) then x := e :: !x
+                      | _ -> ())
+                    c)
+              applicable;
+            match List.rev !x with
+            | [] -> Ast.Distinct_on [ Ast.Lit (Value.Int 1) ]
+            | xs -> Ast.Distinct_on xs
+          end
+        in
+        {
+          Ast.empty_select with
+          distinct;
+          items = [ Ast.Table_star target_alias ];
+          from;
+          where;
+        }
+      in
+      (* One witness query per occurrence; self-joins union per relation. *)
+      let by_rel = Hashtbl.create 4 in
+      List.iter
+        (fun (alias, rel) ->
+          let w = Queries [ witness_for (alias, rel) ] in
+          let cur = Option.value (Hashtbl.find_opt by_rel rel) ~default:(Queries []) in
+          Hashtbl.replace by_rel rel (merge cur w))
+        log_occs;
+      Hashtbl.fold (fun rel w acc -> (rel, w) :: acc) by_rel []
+    end
+  end
+
+(* Witnesses for a policy query, with Algorithm 2's recursion into union
+   branches and FROM subqueries. *)
+let rec for_query ~is_log ~now (q : Ast.query) : (string * t) list =
+  let combine lists =
+    List.fold_left
+      (fun acc (rel, w) ->
+        let cur = Option.value (List.assoc_opt rel acc) ~default:(Queries []) in
+        (rel, merge cur w) :: List.remove_assoc rel acc)
+      [] (List.concat lists)
+  in
+  match q with
+  | Ast.Union { left; right; _ } ->
+    combine [ for_query ~is_log ~now left; for_query ~is_log ~now right ]
+  | Ast.Select s ->
+    let sub =
+      List.concat_map
+        (function
+          | Ast.From_subquery { query; _ } -> [ for_query ~is_log ~now query ]
+          | Ast.From_table _ -> [])
+        s.from
+    in
+    combine (for_select ~is_log ~now s :: sub)
+
+let for_policy ~is_log ~now (p : Policy.t) : (string * t) list =
+  for_query ~is_log ~now p.Policy.query

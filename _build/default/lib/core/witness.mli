@@ -1,0 +1,31 @@
+(** Absolute-witness computation for log compaction (§4.1.2).
+
+    For a policy π and log relation [Ri], an {e absolute witness} is a
+    subset of [Ri] sufficient to evaluate π at every future time
+    (Def. 4.1; the produced witnesses guarantee evaluations from the next
+    timestamp on, which is when compaction takes effect). Built per
+    Lemmas 4.1–4.3 with Algorithm 2's recursion into union branches and
+    FROM subqueries. *)
+
+open Relational
+
+type t =
+  | Keep_all  (** no compaction possible: retain the whole relation *)
+  | Queries of Ast.select list
+      (** union of witness queries; FROM slot 0 of each is the target
+          occurrence of the relation, so executing with source-tid
+          tracking marks the retained tuples *)
+
+val merge : t -> t -> t
+
+(** Witnesses of every log relation occurring in one SELECT. [now] is the
+    compaction time, frozen into clock predicates per Lemma 4.3. *)
+val for_select :
+  is_log:(string -> bool) -> now:int -> Ast.select -> (string * t) list
+
+(** Witnesses over a whole query (Algorithm 2). *)
+val for_query :
+  is_log:(string -> bool) -> now:int -> Ast.query -> (string * t) list
+
+val for_policy :
+  is_log:(string -> bool) -> now:int -> Policy.t -> (string * t) list

@@ -1,0 +1,1 @@
+lib/mimic/generate.ml: Array Database List Relational Rng Table Value

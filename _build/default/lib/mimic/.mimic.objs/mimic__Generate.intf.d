@@ -1,0 +1,1 @@
+lib/mimic/generate.mli: Database Relational

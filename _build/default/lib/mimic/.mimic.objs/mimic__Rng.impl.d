@@ -1,0 +1,1 @@
+lib/mimic/rng.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/mimic/rng.mli:

@@ -1,0 +1,110 @@
+(** Synthetic MIMIC-II-shaped database.
+
+    The paper evaluates on the MIMIC-II ICU dataset (21 GB), which is
+    gated; this generator produces a database with the same schema shapes
+    the paper's policies and queries touch:
+
+    - [d_patients(subject_id, sex, dob)] — §3.1's patients table;
+    - [chartevents(subject_id, itemid, charttime, value)] — monitor
+      readings, with itemid 211 (heart rate) a heavy hitter, so that the
+      paper's [itemid = 211] queries select a realistic fraction;
+    - [poe_order(order_id, subject_id, drug)] and
+      [poe_med(order_id, dose)] — provider order entries (policy P2);
+    - [user_groups(uid, gid)] — the Groups relation of Example 3.2;
+      group ['X'] contains uid 1 but not uid 0, as in §5's setup.
+
+    Generation is deterministic given the seed. Sizes are configurable so
+    benchmarks can scale the instance to the available CPU budget. *)
+
+open Relational
+
+type config = {
+  seed : int;
+  n_patients : int;
+  events_per_patient : int;  (** mean chartevents rows per patient *)
+  n_orders : int;
+  n_users : int;  (** members of user_groups beyond uids 0 and 1 *)
+}
+
+let default_config =
+  { seed = 42; n_patients = 1000; events_per_patient = 40; n_orders = 2000; n_users = 24 }
+
+let small_config =
+  { seed = 42; n_patients = 200; events_per_patient = 20; n_orders = 400; n_users = 24 }
+
+let heart_rate_itemid = 211
+
+let itemids =
+  (* heart rate plus a tail of other monitored parameters *)
+  Array.of_list (heart_rate_itemid :: List.init 49 (fun i -> 1000 + i))
+
+let drugs = [| "aspirin"; "heparin"; "insulin"; "morphine"; "propofol"; "saline" |]
+
+let schema_sql =
+  {|
+  CREATE TABLE d_patients (subject_id INT, sex TEXT, dob INT);
+  CREATE TABLE chartevents (subject_id INT, itemid INT, charttime INT, value FLOAT);
+  CREATE TABLE poe_order (order_id INT, subject_id INT, drug TEXT);
+  CREATE TABLE poe_med (order_id INT, dose FLOAT);
+  CREATE TABLE user_groups (uid INT, gid TEXT)
+  |}
+
+let populate (db : Database.t) (cfg : config) =
+  let rng = Rng.create ~seed:cfg.seed in
+  let patients = Database.table db "d_patients" in
+  for subject_id = 0 to cfg.n_patients - 1 do
+    let sex = if Rng.bool rng then "M" else "F" in
+    let dob = 1900 + Rng.int rng 100 in
+    ignore
+      (Table.insert patients [| Value.Int subject_id; Value.Str sex; Value.Int dob |])
+  done;
+  let chartevents = Database.table db "chartevents" in
+  for subject_id = 0 to cfg.n_patients - 1 do
+    (* between half and 1.5x the mean, per patient *)
+    let n =
+      (cfg.events_per_patient / 2) + Rng.int rng (max 1 cfg.events_per_patient)
+    in
+    for k = 0 to n - 1 do
+      (* itemid 211 is the heavy hitter: roughly a third of all events. *)
+      let itemid =
+        if Rng.int rng 3 = 0 then heart_rate_itemid else itemids.(Rng.skewed rng 50)
+      in
+      ignore
+        (Table.insert chartevents
+           [|
+             Value.Int subject_id;
+             Value.Int itemid;
+             Value.Int ((subject_id * 1000) + k);
+             Value.Float (40. +. (Rng.float rng *. 120.));
+           |])
+    done
+  done;
+  let poe_order = Database.table db "poe_order" in
+  let poe_med = Database.table db "poe_med" in
+  for order_id = 0 to cfg.n_orders - 1 do
+    ignore
+      (Table.insert poe_order
+         [|
+           Value.Int order_id;
+           Value.Int (Rng.int rng cfg.n_patients);
+           Value.Str (Rng.pick rng drugs);
+         |]);
+    ignore
+      (Table.insert poe_med
+         [| Value.Int order_id; Value.Float (0.5 +. Rng.float rng) |])
+  done;
+  let user_groups = Database.table db "user_groups" in
+  (* uid 1 belongs to group 'X'; uid 0 does not (it has no group at all),
+     matching the §5 experimental setup. *)
+  ignore (Table.insert user_groups [| Value.Int 1; Value.Str "X" |]);
+  for uid = 2 to cfg.n_users + 1 do
+    let gid = if uid mod 2 = 0 then "X" else "Y" in
+    ignore (Table.insert user_groups [| Value.Int uid; Value.Str gid |])
+  done
+
+(* Build a fresh database instance. *)
+let database ?(config = default_config) () : Database.t =
+  let db = Database.create () in
+  ignore (Database.exec_script db schema_sql);
+  populate db config;
+  db

@@ -1,0 +1,36 @@
+(** Synthetic MIMIC-II-shaped database.
+
+    The paper evaluates on the (gated, 21 GB) MIMIC-II ICU dataset; this
+    generator produces a deterministic instance with the same schema
+    shapes its policies and queries touch: [d_patients], [chartevents]
+    (with itemid 211 as heavy hitter), [poe_order]/[poe_med], and
+    [user_groups] with uid 1 in group ['X'] and uid 0 ungrouped, matching
+    the §5 experimental setup. *)
+
+open Relational
+
+type config = {
+  seed : int;
+  n_patients : int;
+  events_per_patient : int;  (** mean chartevents rows per patient *)
+  n_orders : int;
+  n_users : int;  (** members of user_groups beyond uids 0 and 1 *)
+}
+
+(** 1000 patients, ~40 events each. *)
+val default_config : config
+
+(** 200 patients, ~20 events each — for tests. *)
+val small_config : config
+
+(** The heavy-hitter chartevents item (211, heart rate). *)
+val heart_rate_itemid : int
+
+(** The CREATE TABLE script (exposed for custom loading). *)
+val schema_sql : string
+
+(** Populate an existing database created from {!schema_sql}. *)
+val populate : Database.t -> config -> unit
+
+(** Build a fresh instance. *)
+val database : ?config:config -> unit -> Database.t

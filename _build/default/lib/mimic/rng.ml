@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    The MIMIC-II substitute must be reproducible across runs and
+    independent of OCaml's global [Random] state, so data generation uses
+    this small self-contained generator. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* mask to 62 bits so the value stays non-negative in OCaml's 63-bit int *)
+  let r = Int64.to_int (Int64.logand (next_int64 t) 0x3FFFFFFFFFFFFFFFL) in
+  r mod bound
+
+(* Uniform float in [0, 1). *)
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992. (* 2^53 *)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let pick t arr = arr.(int t (Array.length arr))
+
+(* Zipf-like skewed choice over [0, n): rank r with weight 1/(r+1). Used
+   to give chartevents the heavy-hitter item distribution of real ICU
+   monitoring feeds. *)
+let skewed t n =
+  let u = float t in
+  (* inverse CDF of the harmonic distribution, approximated *)
+  let hn = log (float_of_int n) +. 0.5772 in
+  let x = exp (u *. hn) -. 1. in
+  min (n - 1) (max 0 (int_of_float x))

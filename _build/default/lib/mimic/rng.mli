@@ -1,0 +1,21 @@
+(** Deterministic pseudo-random number generator (splitmix64), so data
+    generation is reproducible and independent of [Stdlib.Random]. *)
+
+type t
+
+val create : seed:int -> t
+val next_int64 : t -> int64
+
+(** Uniform int in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+val bool : t -> bool
+val pick : t -> 'a array -> 'a
+
+(** Zipf-like skewed rank in [\[0, n)] (harmonic weights), for
+    heavy-hitter item distributions. *)
+val skewed : t -> int -> int

@@ -1,0 +1,1 @@
+lib/relational/aggregate.ml: Ast Errors List Set Value

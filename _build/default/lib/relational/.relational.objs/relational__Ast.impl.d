@@ -1,0 +1,1 @@
+lib/relational/ast.ml: List Option Printf Ty Value

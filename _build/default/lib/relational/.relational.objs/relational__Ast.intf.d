@@ -1,0 +1,1 @@
+lib/relational/ast.mli: Ty Value

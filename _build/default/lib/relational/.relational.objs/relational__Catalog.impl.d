@@ -1,0 +1,1 @@
+lib/relational/catalog.ml: Errors Hashtbl List Option String Table

@@ -1,0 +1,1 @@
+lib/relational/csv_io.ml: Array Buffer Catalog Database Errors In_channel List Out_channel Row Schema String Table Ty Value

@@ -1,0 +1,1 @@
+lib/relational/database.ml: Array Buffer Catalog Dml Errors Executor List Parser Printf String Value

@@ -1,0 +1,1 @@
+lib/relational/database.mli: Ast Catalog Dml Executor Table Value

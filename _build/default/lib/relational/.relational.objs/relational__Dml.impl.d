@@ -1,0 +1,1 @@
+lib/relational/dml.ml: Array Ast Catalog Errors Eval Executor List Row Schema String Table Value

@@ -1,0 +1,1 @@
+lib/relational/dml.mli: Ast Catalog Executor

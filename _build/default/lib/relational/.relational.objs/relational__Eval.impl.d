@@ -1,0 +1,1 @@
+lib/relational/eval.ml: Ast Errors Float Hashtbl List String Value

@@ -1,0 +1,1 @@
+lib/relational/executor.ml: Aggregate Array Ast Catalog Errors Eval Hashtbl Lineage List Option Parser Row Schema Sql_print String Table Value

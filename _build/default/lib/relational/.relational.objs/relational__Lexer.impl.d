@@ -1,0 +1,1 @@
+lib/relational/lexer.ml: Array Buffer Errors Format List String Token

@@ -1,0 +1,1 @@
+lib/relational/parser.ml: Array Ast Errors Format Lexer List Option String Token Ty Value

@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Array Errors Format Hashtbl List String Ty

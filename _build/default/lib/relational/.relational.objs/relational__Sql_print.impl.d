@@ -1,0 +1,1 @@
+lib/relational/sql_print.ml: Ast Buffer List Option Printf String Ty Value

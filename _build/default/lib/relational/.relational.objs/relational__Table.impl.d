@@ -1,0 +1,1 @@
+lib/relational/table.ml: Array Errors Format Hashtbl Row Schema Ty Value Vec

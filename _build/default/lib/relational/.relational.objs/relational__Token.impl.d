@@ -1,0 +1,1 @@
+lib/relational/token.ml: Printf

@@ -1,0 +1,1 @@
+lib/relational/ty.mli: Format

@@ -1,0 +1,1 @@
+lib/relational/value.ml: Array Bool Buffer Float Format Hashtbl Int Int64 Printf String Ty

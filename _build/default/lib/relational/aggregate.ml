@@ -1,0 +1,65 @@
+(** Aggregate function computation.
+
+    Given the rows of one group and an evaluator for the aggregate's
+    argument, computes COUNT/SUM/AVG/MIN/MAX with optional DISTINCT.
+    Matches PostgreSQL behaviour for the supported cases: COUNT ignores
+    NULL arguments; SUM/AVG/MIN/MAX of an empty or all-NULL group is NULL;
+    SUM over integers stays an integer. *)
+
+module VSet = Set.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+let arg_values ~distinct eval_arg rows =
+  let vals = List.filter_map (fun r -> let v = eval_arg r in
+                               if Value.is_null v then None else Some v) rows in
+  if distinct then VSet.elements (VSet.of_list vals) else vals
+
+let sum vals =
+  List.fold_left
+    (fun acc v ->
+      match acc, v with
+      | Value.Null, v -> v
+      | Value.Int a, Value.Int b -> Value.Int (a + b)
+      | acc, v -> (
+        match Value.as_float acc, Value.as_float v with
+        | Some a, Some b -> Value.Float (a +. b)
+        | _ ->
+          Errors.type_error "SUM over non-numeric value %s" (Value.to_string v)))
+    Value.Null vals
+
+let compute (agg : Ast.agg) ~(distinct : bool) ~(eval_arg : 'row -> Value.t)
+    (rows : 'row list) : Value.t =
+  match agg with
+  | Ast.Count_star -> Value.Int (List.length rows)
+  | Ast.Count -> Value.Int (List.length (arg_values ~distinct eval_arg rows))
+  | Ast.Sum -> sum (arg_values ~distinct eval_arg rows)
+  | Ast.Avg -> (
+    let vals = arg_values ~distinct eval_arg rows in
+    match vals with
+    | [] -> Value.Null
+    | _ -> (
+      match sum vals with
+      | Value.Int i -> Value.Float (float_of_int i /. float_of_int (List.length vals))
+      | Value.Float f -> Value.Float (f /. float_of_int (List.length vals))
+      | _ -> Value.Null))
+  | Ast.Min -> (
+    match arg_values ~distinct eval_arg rows with
+    | [] -> Value.Null
+    | v :: vs -> List.fold_left (fun a b -> if Value.compare b a < 0 then b else a) v vs)
+  | Ast.Max -> (
+    match arg_values ~distinct eval_arg rows with
+    | [] -> Value.Null
+    | v :: vs -> List.fold_left (fun a b -> if Value.compare b a > 0 then b else a) v vs)
+
+(* Collect the distinct aggregate call nodes appearing in an expression. *)
+let calls_in_expr (e : Ast.expr) : Ast.expr list =
+  let acc = ref [] in
+  Ast.iter_expr
+    (function
+      | Ast.Agg_call _ as call -> if not (List.mem call !acc) then acc := call :: !acc
+      | _ -> ())
+    e;
+  List.rev !acc

@@ -1,0 +1,15 @@
+(** Aggregate function computation.
+
+    Matches PostgreSQL for the supported cases: COUNT ignores NULL
+    arguments; SUM/AVG/MIN/MAX of an empty or all-NULL group is NULL; SUM
+    over integers stays an integer; AVG is a float. *)
+
+(** [compute agg ~distinct ~eval_arg rows] computes the aggregate over one
+    group. [eval_arg] evaluates the argument expression against a group
+    row (ignored for [Count_star]). *)
+val compute :
+  Ast.agg -> distinct:bool -> eval_arg:('row -> Value.t) -> 'row list -> Value.t
+
+(** The distinct aggregate-call nodes appearing in an expression, in
+    first-occurrence order. *)
+val calls_in_expr : Ast.expr -> Ast.expr list

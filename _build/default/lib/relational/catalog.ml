@@ -1,0 +1,65 @@
+(** The catalog: a named collection of tables.
+
+    One catalog instance is "the database" of the paper's Eq. (1): it
+    holds both ordinary database relations and — when driven by the
+    DataLawyer engine — the usage-log relations. Log relations are tagged
+    so that policy analysis can distinguish the log [L] from the database
+    [D] (the distinction matters for witness computation and interleaved
+    evaluation). *)
+
+type table_kind =
+  | Base  (** ordinary database relation *)
+  | Log   (** usage-log relation, populated by a log-generating function *)
+  | System  (** system relation, e.g. [clock] *)
+
+type entry = { table : Table.t; kind : table_kind }
+
+type t = { tables : (string, entry) Hashtbl.t }
+
+let create () = { tables = Hashtbl.create 16 }
+
+let key name = String.lowercase_ascii name
+
+let mem t name = Hashtbl.mem t.tables (key name)
+
+let add ?(kind = Base) t table =
+  let k = key (Table.name table) in
+  if Hashtbl.mem t.tables k then
+    Errors.catalog_error "table %s already exists" (Table.name table);
+  Hashtbl.replace t.tables k { table; kind }
+
+let create_table ?(kind = Base) t ~name ~schema =
+  let table = Table.create ~name ~schema in
+  add ~kind t table;
+  table
+
+let drop t name =
+  let k = key name in
+  if not (Hashtbl.mem t.tables k) then
+    Errors.catalog_error "no such table: %s" name;
+  Hashtbl.remove t.tables k
+
+let find_opt t name =
+  Option.map (fun e -> e.table) (Hashtbl.find_opt t.tables (key name))
+
+let find t name =
+  match find_opt t name with
+  | Some table -> table
+  | None -> Errors.catalog_error "no such table: %s" name
+
+let kind_of t name =
+  match Hashtbl.find_opt t.tables (key name) with
+  | Some e -> Some e.kind
+  | None -> None
+
+let is_log t name = kind_of t name = Some Log
+
+let table_names t =
+  Hashtbl.fold (fun _ e acc -> Table.name e.table :: acc) t.tables []
+  |> List.sort String.compare
+
+let log_table_names t =
+  Hashtbl.fold
+    (fun _ e acc -> if e.kind = Log then Table.name e.table :: acc else acc)
+    t.tables []
+  |> List.sort String.compare

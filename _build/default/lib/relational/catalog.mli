@@ -1,0 +1,44 @@
+(** The catalog: a named collection of tables.
+
+    One catalog instance is "the database" of the paper's Eq. (1): it
+    holds ordinary database relations and, when driven by the DataLawyer
+    engine, the usage-log relations. Log relations are tagged so policy
+    analysis can distinguish the log [L] from the database [D]. *)
+
+type table_kind =
+  | Base  (** ordinary database relation *)
+  | Log  (** usage-log relation, populated by a log-generating function *)
+  | System  (** system relation, e.g. [clock] *)
+
+type t
+
+val create : unit -> t
+
+(** Case-insensitive membership test. *)
+val mem : t -> string -> bool
+
+(** Register an existing table.
+    @raise Errors.Sql_error if the name is taken. *)
+val add : ?kind:table_kind -> t -> Table.t -> unit
+
+(** Create and register a table. *)
+val create_table : ?kind:table_kind -> t -> name:string -> schema:Schema.t -> Table.t
+
+(** @raise Errors.Sql_error if absent. *)
+val drop : t -> string -> unit
+
+val find_opt : t -> string -> Table.t option
+
+(** @raise Errors.Sql_error if absent. *)
+val find : t -> string -> Table.t
+
+val kind_of : t -> string -> table_kind option
+
+(** Is the named relation a usage-log relation? *)
+val is_log : t -> string -> bool
+
+(** All table names, sorted. *)
+val table_names : t -> string list
+
+(** Names of [Log]-kind tables, sorted. *)
+val log_table_names : t -> string list

@@ -1,0 +1,77 @@
+(** Convenience facade over the substrate: a catalog plus string-level SQL
+    entry points. This is the interface the DataLawyer middleware, the
+    examples, and the CLI use. *)
+
+type t = { catalog : Catalog.t }
+
+let create () = { catalog = Catalog.create () }
+
+let catalog db = db.catalog
+
+(* Execute a single SQL statement. *)
+let exec db sql : Dml.outcome = Dml.exec db.catalog (Parser.stmt sql)
+
+(* Execute a script of ';'-separated statements; returns the outcomes. *)
+let exec_script db sql : Dml.outcome list =
+  List.map (Dml.exec db.catalog) (Parser.script sql)
+
+(* Run a query and return its result. *)
+let query ?opts db sql : Executor.result = Executor.run ?opts db.catalog (Parser.query sql)
+
+(* Run a query AST. *)
+let query_ast ?opts db q : Executor.result = Executor.run ?opts db.catalog q
+
+(* Run a query and return the rows as value lists (tests, examples). *)
+let rows ?opts db sql : Value.t list list =
+  let r = query ?opts db sql in
+  List.map (fun (row : Executor.row_out) -> Array.to_list row.values) r.Executor.out_rows
+
+(* Run a query expected to return a single scalar. *)
+let scalar db sql : Value.t =
+  match rows db sql with
+  | [ [ v ] ] -> v
+  | [] -> Errors.runtime_error "scalar query returned no rows: %s" sql
+  | _ -> Errors.runtime_error "scalar query returned multiple rows/columns: %s" sql
+
+let table db name = Catalog.find db.catalog name
+
+(* Render a result as an aligned text table (CLI, examples). *)
+let render (r : Executor.result) : string =
+  let header = Array.of_list r.Executor.columns in
+  let rows =
+    List.map
+      (fun (row : Executor.row_out) -> Array.map Value.to_string row.values)
+      r.Executor.out_rows
+  in
+  let ncols = Array.length header in
+  let width j =
+    List.fold_left
+      (fun w row -> max w (String.length row.(j)))
+      (String.length header.(j))
+      rows
+  in
+  let widths = Array.init ncols width in
+  let line cells =
+    String.concat " | "
+      (List.mapi
+         (fun j (c : string) -> c ^ String.make (widths.(j) - String.length c) ' ')
+         (Array.to_list cells))
+  in
+  let sep =
+    String.concat "-+-"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 256 in
+  if ncols > 0 then begin
+    Buffer.add_string buf (line header);
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf sep;
+    Buffer.add_char buf '\n'
+  end;
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf (Printf.sprintf "(%d rows)" (List.length rows));
+  Buffer.contents buf

@@ -1,0 +1,33 @@
+(** Convenience facade over the substrate: a catalog plus string-level
+    SQL entry points. This is the interface the DataLawyer middleware,
+    the examples and the CLI use. *)
+
+type t
+
+val create : unit -> t
+val catalog : t -> Catalog.t
+
+(** Execute a single SQL statement (query or DML). *)
+val exec : t -> string -> Dml.outcome
+
+(** Execute a [';']-separated script; returns the outcomes in order. *)
+val exec_script : t -> string -> Dml.outcome list
+
+(** Run a query from SQL text. *)
+val query : ?opts:Executor.opts -> t -> string -> Executor.result
+
+(** Run a query AST. *)
+val query_ast : ?opts:Executor.opts -> t -> Ast.query -> Executor.result
+
+(** Query results as value lists (tests, examples). *)
+val rows : ?opts:Executor.opts -> t -> string -> Value.t list list
+
+(** Run a query expected to return exactly one cell.
+    @raise Errors.Sql_error otherwise. *)
+val scalar : t -> string -> Value.t
+
+(** Look up a table. @raise Errors.Sql_error if absent. *)
+val table : t -> string -> Table.t
+
+(** Render a result as an aligned text table. *)
+val render : Executor.result -> string

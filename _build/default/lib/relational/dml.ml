@@ -1,0 +1,98 @@
+(** Data-manipulation statements: INSERT, DELETE, UPDATE, CREATE/DROP. *)
+
+type outcome =
+  | Rows of Executor.result  (** result of a query *)
+  | Affected of int  (** row count of a DML statement *)
+  | Created of string
+  | Dropped of string
+
+(* Reorder/pad INSERT values according to an explicit column list. *)
+let arrange_cells table columns exprs =
+  let schema = Table.schema table in
+  let values = List.map Eval.eval_const exprs in
+  match columns with
+  | None ->
+    if List.length values <> Schema.arity schema then
+      Errors.runtime_error "INSERT into %s: expected %d values, got %d"
+        (Table.name table) (Schema.arity schema) (List.length values);
+    Array.of_list values
+  | Some cols ->
+    if List.length cols <> List.length values then
+      Errors.runtime_error "INSERT into %s: %d columns but %d values"
+        (Table.name table) (List.length cols) (List.length values);
+    let cells = Array.make (Schema.arity schema) Value.Null in
+    List.iter2
+      (fun col v ->
+        match Schema.find_index schema col with
+        | Some i -> cells.(i) <- v
+        | None ->
+          Errors.bind_error "no column %S in table %s" col (Table.name table))
+      cols values;
+    cells
+
+let row_env table (row : Row.t) : Eval.env =
+  let schema = Table.schema table in
+  {
+    Eval.col =
+      (fun q name ->
+        (match q with
+        | Some q
+          when String.lowercase_ascii q <> String.lowercase_ascii (Table.name table) ->
+          Errors.bind_error "unknown table %S" q
+        | _ -> ());
+        match Schema.find_index schema name with
+        | Some i -> Row.cell row i
+        | None -> Errors.bind_error "no column %S in %s" name (Table.name table));
+    agg = None;
+  }
+
+let exec (cat : Catalog.t) (stmt : Ast.stmt) : outcome =
+  match stmt with
+  | Ast.Query q -> Rows (Executor.run cat q)
+  | Ast.Create_table { table; columns } ->
+    let schema = Schema.make columns in
+    ignore (Catalog.create_table cat ~name:table ~schema);
+    Created table
+  | Ast.Drop_table { table; if_exists } ->
+    if Catalog.mem cat table then begin
+      Catalog.drop cat table;
+      Dropped table
+    end
+    else if if_exists then Dropped table
+    else Errors.catalog_error "no such table: %s" table
+  | Ast.Insert { table; columns; rows } ->
+    let t = Catalog.find cat table in
+    List.iter (fun exprs -> ignore (Table.insert t (arrange_cells t columns exprs))) rows;
+    Affected (List.length rows)
+  | Ast.Delete { table; where } ->
+    let t = Catalog.find cat table in
+    let pred =
+      match where with
+      | None -> fun _ -> true
+      | Some w -> fun row -> Value.to_bool (Eval.eval (row_env t row) w)
+    in
+    Affected (Table.delete_where t pred)
+  | Ast.Update { table; sets; where } ->
+    let t = Catalog.find cat table in
+    let schema = Table.schema t in
+    let pred =
+      match where with
+      | None -> fun _ -> true
+      | Some w -> fun row -> Value.to_bool (Eval.eval (row_env t row) w)
+    in
+    let indices =
+      List.map
+        (fun (col, e) ->
+          match Schema.find_index schema col with
+          | Some i -> (i, e)
+          | None -> Errors.bind_error "no column %S in %s" col table)
+        sets
+    in
+    let n =
+      Table.update_where t pred (fun cells ->
+          let row = Row.make ~tid:(-1) cells in
+          let cells = Array.copy cells in
+          List.iter (fun (i, e) -> cells.(i) <- Eval.eval (row_env t row) e) indices;
+          cells)
+    in
+    Affected n

@@ -1,0 +1,11 @@
+(** Data-manipulation statements: INSERT, DELETE, UPDATE, CREATE/DROP. *)
+
+type outcome =
+  | Rows of Executor.result  (** result of a query *)
+  | Affected of int  (** row count of a DML statement *)
+  | Created of string
+  | Dropped of string
+
+(** Execute one statement against the catalog.
+    @raise Errors.Sql_error on any failure. *)
+val exec : Catalog.t -> Ast.stmt -> outcome

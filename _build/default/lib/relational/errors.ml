@@ -1,0 +1,37 @@
+(** Errors raised by the relational substrate.
+
+    All user-facing failures (syntax errors, unknown tables/columns, type
+    mismatches, runtime evaluation errors) are funnelled through
+    [Sql_error] so that callers — in particular the DataLawyer engine and
+    the CLI — can catch a single exception and display its message. *)
+
+type kind =
+  | Parse_error
+  | Bind_error
+  | Type_error
+  | Runtime_error
+  | Catalog_error
+
+exception Sql_error of kind * string
+
+let kind_to_string = function
+  | Parse_error -> "parse error"
+  | Bind_error -> "bind error"
+  | Type_error -> "type error"
+  | Runtime_error -> "runtime error"
+  | Catalog_error -> "catalog error"
+
+let parse_error fmt = Format.kasprintf (fun s -> raise (Sql_error (Parse_error, s))) fmt
+let bind_error fmt = Format.kasprintf (fun s -> raise (Sql_error (Bind_error, s))) fmt
+let type_error fmt = Format.kasprintf (fun s -> raise (Sql_error (Type_error, s))) fmt
+let runtime_error fmt = Format.kasprintf (fun s -> raise (Sql_error (Runtime_error, s))) fmt
+let catalog_error fmt = Format.kasprintf (fun s -> raise (Sql_error (Catalog_error, s))) fmt
+
+let to_string = function
+  | Sql_error (k, msg) -> Printf.sprintf "%s: %s" (kind_to_string k) msg
+  | e -> Printexc.to_string e
+
+let () =
+  Printexc.register_printer (function
+    | Sql_error (k, msg) -> Some (Printf.sprintf "Sql_error(%s: %s)" (kind_to_string k) msg)
+    | _ -> None)

@@ -1,0 +1,27 @@
+(** Errors raised by the relational substrate.
+
+    All user-facing failures are funnelled through {!Sql_error} so callers
+    (the DataLawyer engine, the CLI) can catch one exception and display
+    its message. *)
+
+type kind =
+  | Parse_error
+  | Bind_error  (** name resolution: unknown/ambiguous tables or columns *)
+  | Type_error
+  | Runtime_error  (** evaluation failures, e.g. division by zero *)
+  | Catalog_error  (** catalog violations, e.g. duplicate table *)
+
+exception Sql_error of kind * string
+
+val kind_to_string : kind -> string
+
+(** The following raise [Sql_error] with a formatted message. *)
+
+val parse_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val bind_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val type_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val runtime_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val catalog_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Render any exception; [Sql_error] gets a ["kind: message"] form. *)
+val to_string : exn -> string

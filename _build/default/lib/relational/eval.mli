@@ -1,0 +1,28 @@
+(** Scalar expression evaluation.
+
+    Expressions evaluate against an environment that resolves column
+    references and — inside aggregate queries — whole [Agg_call] nodes.
+    NULL semantics follow {!Value}: comparisons involving NULL are false;
+    arithmetic on NULL yields NULL. *)
+
+type env = {
+  col : string option -> string -> Value.t;
+      (** resolve a (qualifier, column) reference *)
+  agg : (Ast.expr -> Value.t option) option;
+      (** resolve a computed aggregate; [None] outside aggregate queries *)
+}
+
+(** Evaluate an expression.
+    @raise Errors.Sql_error on type errors, division by zero, or
+    aggregates outside an aggregate context. *)
+val eval : env -> Ast.expr -> Value.t
+
+(** SQL [LIKE] matching: ['%'] matches any sequence, ['_'] any single
+    character. *)
+val like_match : string -> string -> bool
+
+(** An environment that rejects all column references. *)
+val const_env : env
+
+(** Evaluate a constant expression (e.g. INSERT values). *)
+val eval_const : Ast.expr -> Value.t

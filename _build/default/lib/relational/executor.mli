@@ -1,0 +1,46 @@
+(** Query execution.
+
+    Materializing operators over a bound AST, with two planning
+    optimizations that matter for the paper's workloads: per-relation
+    predicate pushdown and hash equi-joins (FROM items join left to
+    right; remaining equality conjuncts connecting the joined prefix to
+    the next relation become hash keys, otherwise a filtered nested loop
+    is used).
+
+    Two orthogonal annotations can be threaded through execution:
+
+    - {b lineage}: each output row carries the set of (relation, tid)
+      input tuples that contributed to it. Aggregation, DISTINCT and
+      UNION merge the lineages of the rows they combine. Implements the
+      paper's [f_Provenance] log-generating function.
+    - {b source tids}: each output row carries, for every top-level FROM
+      item of the outermost SELECT, the tid of the row it derives from.
+      Log compaction executes witness queries in this mode to mark
+      retained log tuples in place. *)
+
+type opts = { lineage : bool; track_src : bool }
+
+val default_opts : opts
+
+type row_out = {
+  values : Value.t array;
+  lineage : (string * int) list;  (** empty unless [opts.lineage] *)
+  src_tids : (int * int) list;
+      (** (FROM-slot index, tid) pairs; empty unless [opts.track_src] *)
+}
+
+type result = { columns : string list; out_rows : row_out list }
+
+(** Execute a query against the catalog.
+    @raise Errors.Sql_error on binding or runtime failures. *)
+val run : ?opts:opts -> Catalog.t -> Ast.query -> result
+
+(** Parse and execute. *)
+val run_sql : ?opts:opts -> Catalog.t -> string -> result
+
+(** Does the query return no rows? (Policies are satisfied iff so.) *)
+val is_empty : ?opts:opts -> Catalog.t -> Ast.query -> bool
+
+(** Cumulative count of rows examined by join operators, for tests and
+    benchmarks. *)
+val rows_examined : int ref

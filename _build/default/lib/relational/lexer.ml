@@ -1,0 +1,186 @@
+(** Hand-written SQL lexer.
+
+    Supports: identifiers (letters, digits, [_], starting with a letter or
+    [_]), double-quoted identifiers, integer and float literals,
+    single-quoted string literals with [''] escaping, [--] line comments
+    and [/* ... */] block comments, and the operator/punctuation set of
+    {!Token}. Positions are tracked for error messages. *)
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let create src = { src; pos = 0; line = 1; col = 1 }
+
+let error lx fmt =
+  Format.kasprintf
+    (fun s -> Errors.parse_error "line %d, col %d: %s" lx.line lx.col s)
+    fmt
+
+let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let peek2 lx =
+  if lx.pos + 1 < String.length lx.src then Some lx.src.[lx.pos + 1] else None
+
+let advance lx =
+  (match peek lx with
+  | Some '\n' ->
+    lx.line <- lx.line + 1;
+    lx.col <- 1
+  | Some _ -> lx.col <- lx.col + 1
+  | None -> ());
+  lx.pos <- lx.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_trivia lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance lx;
+    skip_trivia lx
+  | Some '-' when peek2 lx = Some '-' ->
+    while peek lx <> None && peek lx <> Some '\n' do
+      advance lx
+    done;
+    skip_trivia lx
+  | Some '/' when peek2 lx = Some '*' ->
+    advance lx;
+    advance lx;
+    let rec go () =
+      match peek lx with
+      | None -> error lx "unterminated block comment"
+      | Some '*' when peek2 lx = Some '/' ->
+        advance lx;
+        advance lx
+      | Some _ ->
+        advance lx;
+        go ()
+    in
+    go ();
+    skip_trivia lx
+  | _ -> ()
+
+let lex_ident lx =
+  let start = lx.pos in
+  while (match peek lx with Some c -> is_ident_char c | None -> false) do
+    advance lx
+  done;
+  String.sub lx.src start (lx.pos - start)
+
+let lex_quoted_ident lx =
+  advance lx;
+  (* skip opening double quote *)
+  let buf = Buffer.create 8 in
+  let rec go () =
+    match peek lx with
+    | None -> error lx "unterminated quoted identifier"
+    | Some '"' -> advance lx
+    | Some c ->
+      Buffer.add_char buf c;
+      advance lx;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let lex_string lx =
+  advance lx;
+  (* opening ' *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek lx with
+    | None -> error lx "unterminated string literal"
+    | Some '\'' when peek2 lx = Some '\'' ->
+      Buffer.add_char buf '\'';
+      advance lx;
+      advance lx;
+      go ()
+    | Some '\'' -> advance lx
+    | Some c ->
+      Buffer.add_char buf c;
+      advance lx;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let lex_number lx =
+  let start = lx.pos in
+  while (match peek lx with Some c -> is_digit c | None -> false) do
+    advance lx
+  done;
+  let is_float = ref false in
+  (match peek lx, peek2 lx with
+  | Some '.', Some c when is_digit c ->
+    is_float := true;
+    advance lx;
+    while (match peek lx with Some c -> is_digit c | None -> false) do
+      advance lx
+    done
+  | _ -> ());
+  (match peek lx with
+  | Some ('e' | 'E') ->
+    (match peek2 lx with
+    | Some c when is_digit c || c = '+' || c = '-' ->
+      is_float := true;
+      advance lx;
+      (match peek lx with Some ('+' | '-') -> advance lx | _ -> ());
+      while (match peek lx with Some c -> is_digit c | None -> false) do
+        advance lx
+      done
+    | _ -> ())
+  | _ -> ());
+  let text = String.sub lx.src start (lx.pos - start) in
+  if !is_float then Token.Float_lit (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Token.Int_lit i
+    | None -> Token.Float_lit (float_of_string text)
+
+let next_token lx : Token.t =
+  skip_trivia lx;
+  match peek lx with
+  | None -> Token.Eof
+  | Some c when is_ident_start c -> Token.Ident (lex_ident lx)
+  | Some '"' -> Token.Quoted_ident (lex_quoted_ident lx)
+  | Some '\'' -> Token.Str_lit (lex_string lx)
+  | Some c when is_digit c -> lex_number lx
+  | Some '(' -> advance lx; Token.Lparen
+  | Some ')' -> advance lx; Token.Rparen
+  | Some ',' -> advance lx; Token.Comma
+  | Some '.' -> advance lx; Token.Dot
+  | Some '*' -> advance lx; Token.Star
+  | Some '+' -> advance lx; Token.Plus
+  | Some '-' -> advance lx; Token.Minus
+  | Some '/' -> advance lx; Token.Slash
+  | Some '%' -> advance lx; Token.Percent
+  | Some ';' -> advance lx; Token.Semicolon
+  | Some '=' -> advance lx; Token.Eq
+  | Some '!' when peek2 lx = Some '=' -> advance lx; advance lx; Token.Neq
+  | Some '<' when peek2 lx = Some '>' -> advance lx; advance lx; Token.Neq
+  | Some '<' when peek2 lx = Some '=' -> advance lx; advance lx; Token.Le
+  | Some '<' -> advance lx; Token.Lt
+  | Some '>' when peek2 lx = Some '=' -> advance lx; advance lx; Token.Ge
+  | Some '>' -> advance lx; Token.Gt
+  | Some '|' when peek2 lx = Some '|' -> advance lx; advance lx; Token.Concat
+  | Some c -> error lx "unexpected character %C" c
+
+(* Tokenize the whole input; each token is paired with the line/column at
+   which it starts. *)
+let tokenize src : (Token.t * (int * int)) array =
+  let lx = create src in
+  let out = ref [] in
+  let rec go () =
+    skip_trivia lx;
+    let pos = (lx.line, lx.col) in
+    let tok = next_token lx in
+    out := (tok, pos) :: !out;
+    if tok <> Token.Eof then go ()
+  in
+  go ();
+  Array.of_list (List.rev !out)

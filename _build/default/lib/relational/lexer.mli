@@ -1,0 +1,10 @@
+(** Hand-written SQL lexer.
+
+    Identifiers (plus double-quoted identifiers), integer/float literals,
+    single-quoted strings with [''] escaping, [--] line and [/* */] block
+    comments, and {!Token}'s operator set. Raises {!Errors.Sql_error}
+    with position information on lexical errors. *)
+
+(** Tokenize the whole input; each token is paired with the (line,
+    column) at which it starts. The last token is always {!Token.Eof}. *)
+val tokenize : string -> (Token.t * (int * int)) array

@@ -1,0 +1,37 @@
+(** Lineage (which-provenance) sets.
+
+    A lineage is a set of [(input_relation, input_tid)] pairs — the "set
+    of contributing tuples" provenance the paper adopts from Cui et al.
+    (called lineage in [43]). The executor threads a lineage through every
+    operator when tracking is enabled; [Off] makes tracking free for the
+    common non-provenance path. *)
+
+module Elt = struct
+  type t = string * int
+
+  let compare (r1, t1) (r2, t2) =
+    match String.compare r1 r2 with 0 -> Int.compare t1 t2 | c -> c
+end
+
+module Set = Stdlib.Set.Make (Elt)
+
+type t = Off | On of Set.t
+
+let off = Off
+
+let empty = On Set.empty
+
+let singleton rel tid = On (Set.singleton (rel, tid))
+
+let union a b =
+  match a, b with
+  | Off, _ | _, Off -> Off
+  | On x, On y -> On (Set.union x y)
+
+let union_all = function [] -> empty | x :: xs -> List.fold_left union x xs
+
+let to_list = function Off -> [] | On s -> Set.elements s
+
+let cardinal = function Off -> 0 | On s -> Set.cardinal s
+
+let is_tracking = function Off -> false | On _ -> true

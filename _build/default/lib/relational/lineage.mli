@@ -1,0 +1,27 @@
+(** Lineage (which-provenance) sets.
+
+    A lineage is a set of [(input_relation, input_tid)] pairs — the "set
+    of contributing tuples" provenance the paper adopts (its [43]). The
+    executor threads a lineage through every operator when tracking is
+    enabled; the [Off] state makes the common non-provenance path free. *)
+
+type t
+
+(** Tracking disabled: absorbing under {!union}. *)
+val off : t
+
+(** The empty (but tracking) lineage. *)
+val empty : t
+
+val singleton : string -> int -> t
+
+(** Set union; [Off] absorbs. *)
+val union : t -> t -> t
+
+val union_all : t list -> t
+
+(** Elements in lexicographic order; [[]] for [Off]. *)
+val to_list : t -> (string * int) list
+
+val cardinal : t -> int
+val is_tracking : t -> bool

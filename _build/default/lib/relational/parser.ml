@@ -1,0 +1,683 @@
+(** Recursive-descent parser for the SQL dialect.
+
+    Keywords are case-insensitive. [INNER JOIN ... ON ...] is accepted and
+    desugared at parse time into a comma join plus WHERE conjuncts, so that
+    downstream policy analysis only ever sees conjunctive WHERE clauses
+    over a flat FROM list (the form the paper's algorithms are defined
+    on). *)
+
+type t = { toks : (Token.t * (int * int)) array; mutable pos : int }
+
+let reserved =
+  [ "select"; "distinct"; "on"; "as"; "from"; "where"; "group"; "by"; "having";
+    "order"; "limit"; "asc"; "desc"; "union"; "all"; "and"; "or"; "not";
+    "null"; "true"; "false"; "insert"; "into"; "values"; "create"; "table";
+    "delete"; "update"; "set"; "drop"; "if"; "exists"; "join"; "inner";
+    "cross"; "is"; "in"; "between"; "like"; "case"; "when"; "then"; "else";
+    "end" ]
+
+let is_reserved s = List.mem (String.lowercase_ascii s) reserved
+
+let create src = { toks = Lexer.tokenize src; pos = 0 }
+
+let cur p = fst p.toks.(p.pos)
+let cur_pos p = snd p.toks.(p.pos)
+
+let peek_n p n =
+  let i = p.pos + n in
+  if i < Array.length p.toks then fst p.toks.(i) else Token.Eof
+
+let advance p = if p.pos < Array.length p.toks - 1 then p.pos <- p.pos + 1
+
+let error p fmt =
+  let line, col = cur_pos p in
+  Format.kasprintf
+    (fun s ->
+      Errors.parse_error "line %d, col %d (at %S): %s" line col
+        (Token.to_string (cur p)) s)
+    fmt
+
+let expect p tok =
+  if cur p = tok then advance p
+  else error p "expected %S" (Token.to_string tok)
+
+(* Keyword helpers: keywords arrive as Ident tokens. *)
+let is_kw p kw =
+  match cur p with
+  | Token.Ident s -> String.lowercase_ascii s = kw
+  | _ -> false
+
+let accept_kw p kw =
+  if is_kw p kw then begin
+    advance p;
+    true
+  end
+  else false
+
+let expect_kw p kw = if not (accept_kw p kw) then error p "expected keyword %s" kw
+
+let parse_ident p =
+  match cur p with
+  | Token.Ident s when not (is_reserved s) ->
+    advance p;
+    s
+  | Token.Quoted_ident s ->
+    advance p;
+    s
+  | Token.Ident s -> error p "unexpected keyword %S where identifier expected" s
+  | _ -> error p "expected identifier"
+
+(* Expressions -------------------------------------------------------------- *)
+
+let agg_of_name name =
+  match String.lowercase_ascii name with
+  | "count" -> Some Ast.Count
+  | "sum" -> Some Ast.Sum
+  | "avg" -> Some Ast.Avg
+  | "min" -> Some Ast.Min
+  | "max" -> Some Ast.Max
+  | _ -> None
+
+let rec parse_expr p = parse_or p
+
+and parse_or p =
+  let left = parse_and p in
+  if accept_kw p "or" then Ast.Binop (Ast.Or, left, parse_or p) else left
+
+and parse_and p =
+  let left = parse_not p in
+  if accept_kw p "and" then Ast.Binop (Ast.And, left, parse_and p) else left
+
+and parse_not p =
+  if accept_kw p "not" then Ast.Unop (Ast.Not, parse_not p) else parse_cmp p
+
+and parse_cmp p =
+  let left = parse_add p in
+  (* [NOT] IN / BETWEEN / LIKE sugar, desugared to OR/AND/comparison
+     chains so downstream policy analysis sees only plain conjuncts. *)
+  let negated = is_kw p "not" && (match peek_n p 1 with
+    | Token.Ident s -> List.mem (String.lowercase_ascii s) [ "in"; "between"; "like" ]
+    | _ -> false)
+  in
+  if negated then advance p;
+  if accept_kw p "in" then begin
+    expect p Token.Lparen;
+    let rec go acc =
+      let e = parse_expr p in
+      if cur p = Token.Comma then begin
+        advance p;
+        go (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    let choices = go [] in
+    expect p Token.Rparen;
+    let disjunction =
+      match List.map (fun c -> Ast.Binop (Ast.Eq, left, c)) choices with
+      | [] -> Ast.Lit (Value.Bool false)
+      | d :: ds -> List.fold_left (fun acc d -> Ast.Binop (Ast.Or, acc, d)) d ds
+    in
+    if negated then Ast.Unop (Ast.Not, disjunction) else disjunction
+  end
+  else if accept_kw p "between" then begin
+    let lo = parse_add p in
+    expect_kw p "and";
+    let hi = parse_add p in
+    let range =
+      Ast.Binop (Ast.And, Ast.Binop (Ast.Ge, left, lo), Ast.Binop (Ast.Le, left, hi))
+    in
+    if negated then Ast.Unop (Ast.Not, range) else range
+  end
+  else if accept_kw p "like" then begin
+    let pattern = parse_add p in
+    let like = Ast.Binop (Ast.Like, left, pattern) in
+    if negated then Ast.Unop (Ast.Not, like) else like
+  end
+  else if negated then error p "expected IN, BETWEEN or LIKE after NOT"
+  else
+  let op =
+    match cur p with
+    | Token.Eq -> Some Ast.Eq
+    | Token.Neq -> Some Ast.Neq
+    | Token.Lt -> Some Ast.Lt
+    | Token.Le -> Some Ast.Le
+    | Token.Gt -> Some Ast.Gt
+    | Token.Ge -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | Some op ->
+    advance p;
+    Ast.Binop (op, left, parse_add p)
+  | None ->
+    if is_kw p "is" then begin
+      advance p;
+      let negated = accept_kw p "not" in
+      expect_kw p "null";
+      (* IS NULL is encoded via equality with NULL at the AST level would
+         be wrong under our NULL semantics, so we use a dedicated
+         function-free encoding: comparison to NULL is always false, hence
+         we express IS NULL as [NOT (x = x)] and IS NOT NULL as [x = x]. *)
+      let self_eq = Ast.Binop (Ast.Eq, left, left) in
+      if negated then self_eq else Ast.Unop (Ast.Not, self_eq)
+    end
+    else left
+
+and parse_add p =
+  let rec go left =
+    match cur p with
+    | Token.Plus ->
+      advance p;
+      go (Ast.Binop (Ast.Add, left, parse_mul p))
+    | Token.Minus ->
+      advance p;
+      go (Ast.Binop (Ast.Sub, left, parse_mul p))
+    | Token.Concat ->
+      advance p;
+      go (Ast.Binop (Ast.Concat, left, parse_mul p))
+    | _ -> left
+  in
+  go (parse_mul p)
+
+and parse_mul p =
+  let rec go left =
+    match cur p with
+    | Token.Star ->
+      advance p;
+      go (Ast.Binop (Ast.Mul, left, parse_unary p))
+    | Token.Slash ->
+      advance p;
+      go (Ast.Binop (Ast.Div, left, parse_unary p))
+    | Token.Percent ->
+      advance p;
+      go (Ast.Binop (Ast.Mod, left, parse_unary p))
+    | _ -> left
+  in
+  go (parse_unary p)
+
+and parse_unary p =
+  match cur p with
+  | Token.Minus ->
+    advance p;
+    (match parse_unary p with
+    | Ast.Lit (Value.Int i) -> Ast.Lit (Value.Int (-i))
+    | Ast.Lit (Value.Float f) -> Ast.Lit (Value.Float (-.f))
+    | e -> Ast.Unop (Ast.Neg, e))
+  | Token.Plus ->
+    advance p;
+    parse_unary p
+  | _ -> parse_primary p
+
+and parse_primary p =
+  match cur p with
+  | Token.Int_lit i ->
+    advance p;
+    Ast.Lit (Value.Int i)
+  | Token.Float_lit f ->
+    advance p;
+    Ast.Lit (Value.Float f)
+  | Token.Str_lit s ->
+    advance p;
+    Ast.Lit (Value.Str s)
+  | Token.Lparen ->
+    advance p;
+    let e = parse_expr p in
+    expect p Token.Rparen;
+    e
+  | Token.Ident s when String.lowercase_ascii s = "null" ->
+    advance p;
+    Ast.Lit Value.Null
+  | Token.Ident s when String.lowercase_ascii s = "true" ->
+    advance p;
+    Ast.Lit (Value.Bool true)
+  | Token.Ident s when String.lowercase_ascii s = "false" ->
+    advance p;
+    Ast.Lit (Value.Bool false)
+  | Token.Ident s when String.lowercase_ascii s = "case" -> parse_case p
+  | Token.Ident name when peek_n p 1 = Token.Lparen && agg_of_name name <> None ->
+    parse_agg_call p name
+  | Token.Ident name
+    when peek_n p 1 = Token.Lparen && is_scalar_fn name ->
+    parse_fn_call p name
+  | Token.Ident name when peek_n p 1 = Token.Lparen && not (is_reserved name) ->
+    error p "unknown function %S" name
+  | Token.Ident _ | Token.Quoted_ident _ -> (
+    let first = parse_ident p in
+    match cur p with
+    | Token.Dot ->
+      advance p;
+      let second = parse_ident p in
+      Ast.Col (Some first, second)
+    | _ -> Ast.Col (None, first))
+  | _ -> error p "expected expression"
+
+and is_scalar_fn name =
+  List.mem (String.lowercase_ascii name)
+    [ "abs"; "length"; "lower"; "upper"; "coalesce"; "round" ]
+
+and parse_fn_call p name =
+  advance p;
+  expect p Token.Lparen;
+  let args =
+    if cur p = Token.Rparen then []
+    else begin
+      let rec go acc =
+        let e = parse_expr p in
+        if cur p = Token.Comma then begin
+          advance p;
+          go (e :: acc)
+        end
+        else List.rev (e :: acc)
+      in
+      go []
+    end
+  in
+  expect p Token.Rparen;
+  Ast.Fn_call (String.lowercase_ascii name, args)
+
+and parse_case p =
+  expect_kw p "case";
+  let rec branches acc =
+    if accept_kw p "when" then begin
+      let c = parse_expr p in
+      expect_kw p "then";
+      let v = parse_expr p in
+      branches ((c, v) :: acc)
+    end
+    else List.rev acc
+  in
+  let branches = branches [] in
+  if branches = [] then error p "CASE requires at least one WHEN branch";
+  let default = if accept_kw p "else" then Some (parse_expr p) else None in
+  expect_kw p "end";
+  Ast.Case (branches, default)
+
+and parse_agg_call p name =
+  let agg = Option.get (agg_of_name name) in
+  advance p;
+  (* function name *)
+  expect p Token.Lparen;
+  let result =
+    if cur p = Token.Star then begin
+      advance p;
+      if agg <> Ast.Count then error p "only COUNT accepts *";
+      Ast.Agg_call (Ast.Count_star, false, None)
+    end
+    else begin
+      let distinct = accept_kw p "distinct" in
+      let arg = parse_expr p in
+      Ast.Agg_call (agg, distinct, Some arg)
+    end
+  in
+  expect p Token.Rparen;
+  result
+
+(* Select ------------------------------------------------------------------- *)
+
+let parse_alias_opt p =
+  if accept_kw p "as" then Some (parse_ident p)
+  else
+    match cur p with
+    | Token.Ident s when not (is_reserved s) ->
+      advance p;
+      Some s
+    | Token.Quoted_ident s ->
+      advance p;
+      Some s
+    | _ -> None
+
+let rec parse_select_item p =
+  match cur p with
+  | Token.Star ->
+    advance p;
+    Ast.Star
+  | Token.Ident s
+    when (not (is_reserved s)) && peek_n p 1 = Token.Dot && peek_n p 2 = Token.Star ->
+    advance p;
+    advance p;
+    advance p;
+    Ast.Table_star s
+  | Token.Quoted_ident s when peek_n p 1 = Token.Dot && peek_n p 2 = Token.Star ->
+    advance p;
+    advance p;
+    advance p;
+    Ast.Table_star s
+  | _ ->
+    let e = parse_expr p in
+    let alias = parse_alias_opt p in
+    Ast.Sel_expr (e, alias)
+
+and parse_from_item p =
+  if cur p = Token.Lparen then begin
+    advance p;
+    let q = parse_query p in
+    expect p Token.Rparen;
+    match parse_alias_opt p with
+    | Some alias -> Ast.From_subquery { query = q; alias }
+    | None -> error p "subquery in FROM requires an alias"
+  end
+  else
+    let name = parse_ident p in
+    let alias = parse_alias_opt p in
+    Ast.From_table { name; alias }
+
+(* Parse a FROM clause, desugaring JOIN ... ON into comma joins plus
+   conjuncts. Returns the flat from-item list and the extracted join
+   predicates. *)
+and parse_from_clause p =
+  let items = ref [] in
+  let preds = ref [] in
+  let rec joins () =
+    if accept_kw p "cross" then begin
+      expect_kw p "join";
+      items := parse_from_item p :: !items;
+      joins ()
+    end
+    else if is_kw p "inner" || is_kw p "join" then begin
+      ignore (accept_kw p "inner");
+      expect_kw p "join";
+      items := parse_from_item p :: !items;
+      expect_kw p "on";
+      preds := parse_expr p :: !preds;
+      joins ()
+    end
+  in
+  let rec commas () =
+    items := parse_from_item p :: !items;
+    joins ();
+    if cur p = Token.Comma then begin
+      advance p;
+      commas ()
+    end
+  in
+  commas ();
+  (List.rev !items, List.rev !preds)
+
+and parse_select p : Ast.select =
+  expect_kw p "select";
+  let distinct =
+    if accept_kw p "distinct" then
+      if accept_kw p "on" then begin
+        expect p Token.Lparen;
+        let rec exprs acc =
+          let e = parse_expr p in
+          if cur p = Token.Comma then begin
+            advance p;
+            exprs (e :: acc)
+          end
+          else List.rev (e :: acc)
+        in
+        let es = exprs [] in
+        expect p Token.Rparen;
+        (* PostgreSQL's DISTINCT ON list may be followed by a comma before
+           the select items, as written in the paper's witness queries. *)
+        if cur p = Token.Comma then advance p;
+        Ast.Distinct_on es
+      end
+      else Ast.Distinct
+    else Ast.All
+  in
+  let rec items acc =
+    let it = parse_select_item p in
+    if cur p = Token.Comma then begin
+      advance p;
+      items (it :: acc)
+    end
+    else List.rev (it :: acc)
+  in
+  let items = items [] in
+  let from, join_preds =
+    if accept_kw p "from" then parse_from_clause p else ([], [])
+  in
+  let where = if accept_kw p "where" then Some (parse_expr p) else None in
+  let where = Ast.conjoin (join_preds @ Ast.conjuncts_opt where) in
+  let group_by =
+    if accept_kw p "group" then begin
+      expect_kw p "by";
+      let rec go acc =
+        let e = parse_expr p in
+        if cur p = Token.Comma then begin
+          advance p;
+          go (e :: acc)
+        end
+        else List.rev (e :: acc)
+      in
+      go []
+    end
+    else []
+  in
+  let having = if accept_kw p "having" then Some (parse_expr p) else None in
+  let order_by =
+    if accept_kw p "order" then begin
+      expect_kw p "by";
+      let rec go acc =
+        let e = parse_expr p in
+        let dir =
+          if accept_kw p "desc" then Ast.Desc
+          else begin
+            ignore (accept_kw p "asc");
+            Ast.Asc
+          end
+        in
+        if cur p = Token.Comma then begin
+          advance p;
+          go ((e, dir) :: acc)
+        end
+        else List.rev ((e, dir) :: acc)
+      in
+      go []
+    end
+    else []
+  in
+  let limit =
+    if accept_kw p "limit" then begin
+      match cur p with
+      | Token.Int_lit i ->
+        advance p;
+        Some i
+      | _ -> error p "LIMIT expects an integer"
+    end
+    else None
+  in
+  { Ast.distinct; items; from; where; group_by; having; order_by; limit }
+
+and parse_query p : Ast.query =
+  let left =
+    if cur p = Token.Lparen && looks_like_parenthesized_query p then begin
+      advance p;
+      let q = parse_query p in
+      expect p Token.Rparen;
+      q
+    end
+    else Ast.Select (parse_select p)
+  in
+  if accept_kw p "union" then
+    let all = accept_kw p "all" in
+    Ast.Union { all; left; right = parse_query p }
+  else left
+
+(* Heuristic: a '(' followed by SELECT (possibly after more '(') starts a
+   parenthesized query rather than an expression. *)
+and looks_like_parenthesized_query p =
+  let rec go i =
+    match (if p.pos + i < Array.length p.toks then fst p.toks.(p.pos + i) else Token.Eof) with
+    | Token.Lparen -> go (i + 1)
+    | Token.Ident s -> String.lowercase_ascii s = "select"
+    | _ -> false
+  in
+  go 0
+
+(* Statements ---------------------------------------------------------------- *)
+
+let parse_create_table p =
+  expect_kw p "create";
+  expect_kw p "table";
+  let table = parse_ident p in
+  expect p Token.Lparen;
+  let rec cols acc =
+    let name = parse_ident p in
+    let ty_name =
+      match cur p with
+      | Token.Ident s ->
+        advance p;
+        s
+      | _ -> error p "expected a column type"
+    in
+    let ty =
+      match Ty.of_string ty_name with
+      | Some ty -> ty
+      | None -> error p "unknown column type %S" ty_name
+    in
+    (* Swallow optional length spec, e.g. VARCHAR(20). *)
+    if cur p = Token.Lparen then begin
+      advance p;
+      (match cur p with Token.Int_lit _ -> advance p | _ -> error p "expected length");
+      expect p Token.Rparen
+    end;
+    let acc = (name, ty) :: acc in
+    if cur p = Token.Comma then begin
+      advance p;
+      cols acc
+    end
+    else List.rev acc
+  in
+  let columns = cols [] in
+  expect p Token.Rparen;
+  Ast.Create_table { table; columns }
+
+let parse_insert p =
+  expect_kw p "insert";
+  expect_kw p "into";
+  let table = parse_ident p in
+  let columns =
+    if cur p = Token.Lparen then begin
+      advance p;
+      let rec go acc =
+        let c = parse_ident p in
+        if cur p = Token.Comma then begin
+          advance p;
+          go (c :: acc)
+        end
+        else List.rev (c :: acc)
+      in
+      let cs = go [] in
+      expect p Token.Rparen;
+      Some cs
+    end
+    else None
+  in
+  expect_kw p "values";
+  let parse_row () =
+    expect p Token.Lparen;
+    let rec go acc =
+      let e = parse_expr p in
+      if cur p = Token.Comma then begin
+        advance p;
+        go (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    let row = go [] in
+    expect p Token.Rparen;
+    row
+  in
+  let rec rows acc =
+    let r = parse_row () in
+    if cur p = Token.Comma then begin
+      advance p;
+      rows (r :: acc)
+    end
+    else List.rev (r :: acc)
+  in
+  Ast.Insert { table; columns; rows = rows [] }
+
+let parse_delete p =
+  expect_kw p "delete";
+  expect_kw p "from";
+  let table = parse_ident p in
+  let where = if accept_kw p "where" then Some (parse_expr p) else None in
+  Ast.Delete { table; where }
+
+let parse_update p =
+  expect_kw p "update";
+  let table = parse_ident p in
+  expect_kw p "set";
+  let rec sets acc =
+    let col = parse_ident p in
+    expect p Token.Eq;
+    let e = parse_expr p in
+    if cur p = Token.Comma then begin
+      advance p;
+      sets ((col, e) :: acc)
+    end
+    else List.rev ((col, e) :: acc)
+  in
+  let sets = sets [] in
+  let where = if accept_kw p "where" then Some (parse_expr p) else None in
+  Ast.Update { table; sets; where }
+
+let parse_drop p =
+  expect_kw p "drop";
+  expect_kw p "table";
+  let if_exists =
+    if accept_kw p "if" then begin
+      expect_kw p "exists";
+      true
+    end
+    else false
+  in
+  let table = parse_ident p in
+  Ast.Drop_table { table; if_exists }
+
+let parse_stmt_inner p =
+  match cur p with
+  | Token.Ident s -> (
+    match String.lowercase_ascii s with
+    | "select" -> Ast.Query (parse_query p)
+    | "insert" -> parse_insert p
+    | "create" -> parse_create_table p
+    | "delete" -> parse_delete p
+    | "update" -> parse_update p
+    | "drop" -> parse_drop p
+    | kw -> error p "unexpected keyword %S at start of statement" kw)
+  | Token.Lparen -> Ast.Query (parse_query p)
+  | _ -> error p "expected a statement"
+
+let finish p =
+  if cur p = Token.Semicolon then advance p;
+  if cur p <> Token.Eof then error p "trailing input after statement"
+
+(* Public API ----------------------------------------------------------------- *)
+
+let stmt src =
+  let p = create src in
+  let s = parse_stmt_inner p in
+  finish p;
+  s
+
+let query src =
+  let p = create src in
+  let q = parse_query p in
+  finish p;
+  q
+
+let expr src =
+  let p = create src in
+  let e = parse_expr p in
+  finish p;
+  e
+
+let script src =
+  let p = create src in
+  let rec go acc =
+    if cur p = Token.Eof then List.rev acc
+    else begin
+      let s = parse_stmt_inner p in
+      (match cur p with
+      | Token.Semicolon -> advance p
+      | Token.Eof -> ()
+      | _ -> error p "expected ';' between statements");
+      go (s :: acc)
+    end
+  in
+  go []

@@ -1,0 +1,26 @@
+(** Recursive-descent parser for the SQL dialect.
+
+    Keywords are case-insensitive. Several constructs are desugared at
+    parse time so downstream policy analysis only sees flat FROM lists
+    with conjunctive WHERE clauses:
+
+    - [INNER JOIN ... ON p] becomes a comma join plus the conjunct [p];
+    - [x IN (a, b)] becomes [x = a OR x = b]; [NOT IN] the negation;
+    - [x BETWEEN a AND b] becomes [x >= a AND x <= b];
+    - [x IS [NOT] NULL] becomes [[NOT] (x = x)] (sound under the
+      substrate's NULL semantics where [NULL = NULL] is false).
+
+    All entry points raise {!Errors.Sql_error} with position information
+    on malformed input. *)
+
+(** Parse one statement (query or DML), allowing a trailing [';']. *)
+val stmt : string -> Ast.stmt
+
+(** Parse a query ([SELECT]/[UNION]). *)
+val query : string -> Ast.query
+
+(** Parse a scalar expression. *)
+val expr : string -> Ast.expr
+
+(** Parse a [';']-separated script. *)
+val script : string -> Ast.stmt list

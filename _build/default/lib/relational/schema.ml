@@ -1,0 +1,43 @@
+(** Relation schemas: ordered lists of named, typed columns. *)
+
+type column = { name : string; ty : Ty.t }
+
+type t = column array
+
+let make cols : t =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _) ->
+      let key = String.lowercase_ascii name in
+      if Hashtbl.mem seen key then
+        Errors.catalog_error "duplicate column name %S in schema" name;
+      Hashtbl.add seen key ())
+    cols;
+  Array.of_list (List.map (fun (name, ty) -> { name; ty }) cols)
+
+let arity (t : t) = Array.length t
+
+let columns (t : t) = Array.to_list t
+
+let column_names (t : t) = Array.to_list (Array.map (fun c -> c.name) t)
+
+(* Column lookup is case-insensitive, as in SQL. *)
+let find_index (t : t) name =
+  let lname = String.lowercase_ascii name in
+  let rec go i =
+    if i >= Array.length t then None
+    else if String.lowercase_ascii t.(i).name = lname then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let column (t : t) i = t.(i)
+
+let pp ppf (t : t) =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf c -> Format.fprintf ppf "%s %a" c.name Ty.pp c.ty))
+    (Array.to_list t)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,24 @@
+(** Relation schemas: ordered lists of named, typed columns. *)
+
+type column = { name : string; ty : Ty.t }
+
+type t = column array
+
+(** Build a schema from [(name, type)] pairs.
+    @raise Errors.Sql_error on duplicate column names (case-insensitive). *)
+val make : (string * Ty.t) list -> t
+
+(** Number of columns. *)
+val arity : t -> int
+
+val columns : t -> column list
+val column_names : t -> string list
+
+(** Case-insensitive column lookup. *)
+val find_index : t -> string -> int option
+
+(** The [i]-th column. *)
+val column : t -> int -> column
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,167 @@
+(** Pretty-printing of the SQL AST back to concrete syntax.
+
+    The output re-parses to a structurally equal AST (checked by property
+    tests), which lets the DataLawyer engine display rewritten policies
+    (time-independent forms, witness queries, partial policies) to users
+    as ordinary SQL. *)
+
+let binop_str = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Eq -> "="
+  | Ast.Neq -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.And -> "AND"
+  | Ast.Or -> "OR"
+  | Ast.Concat -> "||"
+  | Ast.Like -> "LIKE"
+
+let agg_str = function
+  | Ast.Count_star | Ast.Count -> "COUNT"
+  | Ast.Sum -> "SUM"
+  | Ast.Avg -> "AVG"
+  | Ast.Min -> "MIN"
+  | Ast.Max -> "MAX"
+
+(* Precedence levels, mirroring the parser: higher binds tighter. *)
+let prec = function
+  | Ast.Or -> 1
+  | Ast.And -> 2
+  | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Like -> 4
+  | Ast.Add | Ast.Sub | Ast.Concat -> 5
+  | Ast.Mul | Ast.Div | Ast.Mod -> 6
+
+let rec expr_prec ctx e =
+  let s, p = expr_raw e in
+  if p < ctx then "(" ^ s ^ ")" else s
+
+and expr_raw = function
+  | Ast.Lit v -> (Value.to_sql v, 10)
+  | Ast.Col (None, c) -> (c, 10)
+  | Ast.Col (Some q, c) -> (Printf.sprintf "%s.%s" q c, 10)
+  | Ast.Unop (Ast.Not, e) -> (Printf.sprintf "NOT %s" (expr_prec 3 e), 3)
+  | Ast.Unop (Ast.Neg, e) -> (Printf.sprintf "-%s" (expr_prec 7 e), 7)
+  | Ast.Binop (op, a, b) ->
+    let p = prec op in
+    (* Comparisons are non-associative in the grammar, so BOTH operands
+       must bind tighter; subtraction/division/modulo are left-associative
+       so only the right side needs a tighter context. AND/OR chains may
+       re-associate on re-parse, which is semantically harmless. *)
+    let left_ctx, right_ctx =
+      match op with
+      | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Like ->
+        (p + 1, p + 1)
+      | Ast.Sub | Ast.Div | Ast.Mod -> (p, p + 1)
+      | _ -> (p, p)
+    in
+    ( Printf.sprintf "%s %s %s" (expr_prec left_ctx a) (binop_str op)
+        (expr_prec right_ctx b),
+      p )
+  | Ast.Agg_call (Ast.Count_star, _, _) -> ("COUNT(*)", 10)
+  | Ast.Agg_call (agg, distinct, Some arg) ->
+    ( Printf.sprintf "%s(%s%s)" (agg_str agg)
+        (if distinct then "DISTINCT " else "")
+        (expr_prec 0 arg),
+      10 )
+  | Ast.Agg_call (agg, _, None) ->
+    (Printf.sprintf "%s(*)" (agg_str agg), 10)
+  | Ast.Fn_call (name, args) ->
+    ( Printf.sprintf "%s(%s)" (String.uppercase_ascii name)
+        (String.concat ", " (List.map (expr_prec 0) args)),
+      10 )
+  | Ast.Case (branches, default) ->
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf "CASE";
+    List.iter
+      (fun (c, v) ->
+        Buffer.add_string buf
+          (Printf.sprintf " WHEN %s THEN %s" (expr_prec 0 c) (expr_prec 0 v)))
+      branches;
+    Option.iter
+      (fun d -> Buffer.add_string buf (Printf.sprintf " ELSE %s" (expr_prec 0 d)))
+      default;
+    Buffer.add_string buf " END";
+    (Buffer.contents buf, 10)
+
+let expr e = expr_prec 0 e
+
+let select_item = function
+  | Ast.Star -> "*"
+  | Ast.Table_star t -> t ^ ".*"
+  | Ast.Sel_expr (e, None) -> expr e
+  | Ast.Sel_expr (e, Some a) -> Printf.sprintf "%s AS %s" (expr e) a
+
+let rec from_item = function
+  | Ast.From_table { name; alias = None } -> name
+  | Ast.From_table { name; alias = Some a } -> Printf.sprintf "%s %s" name a
+  | Ast.From_subquery { query = q; alias } ->
+    Printf.sprintf "(%s) %s" (query q) alias
+
+and select (s : Ast.select) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT ";
+  (match s.distinct with
+  | Ast.All -> ()
+  | Ast.Distinct -> Buffer.add_string buf "DISTINCT "
+  | Ast.Distinct_on es ->
+    Buffer.add_string buf
+      (Printf.sprintf "DISTINCT ON (%s) " (String.concat ", " (List.map expr es))));
+  Buffer.add_string buf (String.concat ", " (List.map select_item s.items));
+  if s.from <> [] then begin
+    Buffer.add_string buf " FROM ";
+    Buffer.add_string buf (String.concat ", " (List.map from_item s.from))
+  end;
+  Option.iter (fun w -> Buffer.add_string buf (" WHERE " ^ expr w)) s.where;
+  if s.group_by <> [] then
+    Buffer.add_string buf
+      (" GROUP BY " ^ String.concat ", " (List.map expr s.group_by));
+  Option.iter (fun h -> Buffer.add_string buf (" HAVING " ^ expr h)) s.having;
+  if s.order_by <> [] then
+    Buffer.add_string buf
+      (" ORDER BY "
+      ^ String.concat ", "
+          (List.map
+             (fun (e, d) ->
+               expr e ^ match d with Ast.Asc -> "" | Ast.Desc -> " DESC")
+             s.order_by));
+  Option.iter (fun l -> Buffer.add_string buf (Printf.sprintf " LIMIT %d" l)) s.limit;
+  Buffer.contents buf
+
+and query = function
+  | Ast.Select s -> select s
+  | Ast.Union { all; left; right } ->
+    Printf.sprintf "(%s) UNION %s(%s)" (query left)
+      (if all then "ALL " else "")
+      (query right)
+
+let stmt = function
+  | Ast.Query q -> query q
+  | Ast.Insert { table; columns; rows } ->
+    Printf.sprintf "INSERT INTO %s%s VALUES %s" table
+      (match columns with
+      | None -> ""
+      | Some cs -> Printf.sprintf " (%s)" (String.concat ", " cs))
+      (String.concat ", "
+         (List.map
+            (fun row -> Printf.sprintf "(%s)" (String.concat ", " (List.map expr row)))
+            rows))
+  | Ast.Create_table { table; columns } ->
+    Printf.sprintf "CREATE TABLE %s (%s)" table
+      (String.concat ", "
+         (List.map (fun (n, ty) -> Printf.sprintf "%s %s" n (Ty.to_string ty)) columns))
+  | Ast.Delete { table; where } ->
+    Printf.sprintf "DELETE FROM %s%s" table
+      (match where with None -> "" | Some w -> " WHERE " ^ expr w)
+  | Ast.Update { table; sets; where } ->
+    Printf.sprintf "UPDATE %s SET %s%s" table
+      (String.concat ", "
+         (List.map (fun (c, e) -> Printf.sprintf "%s = %s" c (expr e)) sets))
+      (match where with None -> "" | Some w -> " WHERE " ^ expr w)
+  | Ast.Drop_table { table; if_exists } ->
+    Printf.sprintf "DROP TABLE %s%s" (if if_exists then "IF EXISTS " else "") table

@@ -1,0 +1,16 @@
+(** Pretty-printing of the SQL AST back to concrete syntax.
+
+    The output re-parses to a structurally equal AST (modulo AND/OR chain
+    re-association, which is semantically neutral); checked by property
+    tests. The DataLawyer engine uses this to display rewritten policies
+    (time-independent forms, witness queries, partial policies) as
+    ordinary SQL. *)
+
+val binop_str : Ast.binop -> string
+val agg_str : Ast.agg -> string
+val expr : Ast.expr -> string
+val select_item : Ast.select_item -> string
+val from_item : Ast.from_item -> string
+val select : Ast.select -> string
+val query : Ast.query -> string
+val stmt : Ast.stmt -> string

@@ -1,0 +1,145 @@
+(** Heap tables.
+
+    A table stores rows in insertion order in a growable vector. Each row
+    receives a monotonically increasing tuple id. Tables support:
+
+    - appends (with cell type checking against the schema),
+    - predicate and tid-set deletion (used by DML and by log compaction),
+    - savepoints: since all mutation between a savepoint and its
+      rollback is append-only in the DataLawyer engine (tentative log
+      increments), a savepoint is just the current row count and rollback
+      truncates to it. Taking a savepoint freezes deletions until it is
+      released, enforced with [in_txn].
+
+    Tables are deliberately unindexed; the executor builds transient hash
+    indexes per query, which matches the ad-hoc nature of policy and
+    witness queries. *)
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  rows : Row.t Vec.t;
+  mutable next_tid : int;
+  mutable in_txn : bool;
+}
+
+let dummy_row = Row.make ~tid:(-1) [||]
+
+let create ~name ~schema =
+  { name; schema; rows = Vec.create ~dummy:dummy_row (); next_tid = 0; in_txn = false }
+
+let name t = t.name
+
+let schema t = t.schema
+
+let row_count t = Vec.length t.rows
+
+let check_cells t cells =
+  let n = Schema.arity t.schema in
+  if Array.length cells <> n then
+    Errors.runtime_error "table %s expects %d columns, got %d" t.name n
+      (Array.length cells);
+  Array.iteri
+    (fun i v ->
+      match Value.type_of v with
+      | None -> () (* NULL fits any column *)
+      | Some ty ->
+        let col = Schema.column t.schema i in
+        let ok =
+          Ty.equal ty col.Schema.ty
+          || (ty = Ty.Int && col.Schema.ty = Ty.Float)
+        in
+        if not ok then
+          Errors.type_error "table %s column %s: expected %s, got %s (%s)"
+            t.name col.Schema.name
+            (Ty.to_string col.Schema.ty)
+            (Ty.to_string ty) (Value.to_string v))
+    cells
+
+(* Insert a row; returns its tuple id. *)
+let insert t cells =
+  check_cells t cells;
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  Vec.push t.rows (Row.make ~tid cells);
+  tid
+
+let iter f t = Vec.iter f t.rows
+
+let fold f init t = Vec.fold_left f init t.rows
+
+let rows t = Vec.to_list t.rows
+
+let find_by_tid t tid =
+  (* Rows are sorted by tid (append-only ids), so binary search works. *)
+  let n = Vec.length t.rows in
+  let rec go lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let r = Vec.get t.rows mid in
+      if Row.tid r = tid then Some r
+      else if Row.tid r < tid then go (mid + 1) hi
+      else go lo mid
+  in
+  go 0 n
+
+(* Deletion --------------------------------------------------------------- *)
+
+let guard_no_txn t op =
+  if t.in_txn then
+    Errors.runtime_error "table %s: %s not allowed inside a savepoint" t.name op
+
+(* Delete all rows whose tid is NOT in [keep]; returns number removed. *)
+let retain_tids t keep =
+  guard_no_txn t "retain_tids";
+  Vec.filter_in_place (fun r -> Hashtbl.mem keep (Row.tid r)) t.rows
+
+let delete_where t pred =
+  guard_no_txn t "delete_where";
+  Vec.filter_in_place (fun r -> not (pred r)) t.rows
+
+let clear t =
+  guard_no_txn t "clear";
+  Vec.clear t.rows
+
+(* Update ----------------------------------------------------------------- *)
+
+let update_where t pred f =
+  guard_no_txn t "update_where";
+  let n = ref 0 in
+  Vec.iteri
+    (fun i r ->
+      if pred r then begin
+        let cells = f (Row.cells r) in
+        check_cells t cells;
+        Vec.set t.rows i (Row.make ~tid:(Row.tid r) cells);
+        incr n
+      end)
+    t.rows;
+  !n
+
+(* Savepoints ------------------------------------------------------------- *)
+
+type savepoint = int
+
+let savepoint t : savepoint =
+  t.in_txn <- true;
+  Vec.length t.rows
+
+let rollback_to t (sp : savepoint) =
+  t.in_txn <- false;
+  Vec.truncate t.rows sp
+
+let release t (_sp : savepoint) = t.in_txn <- false
+
+(* Rows inserted after the savepoint, i.e. the tentative increment. *)
+let rows_since t (sp : savepoint) =
+  let out = ref [] in
+  for i = Vec.length t.rows - 1 downto sp do
+    out := Vec.get t.rows i :: !out
+  done;
+  !out
+
+let pp ppf t =
+  Format.fprintf ppf "%s%a [%d rows]" t.name Schema.pp t.schema (row_count t)

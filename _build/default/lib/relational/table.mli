@@ -1,0 +1,68 @@
+(** Heap tables.
+
+    Rows live in insertion order in a growable vector; every row gets a
+    monotonically increasing tuple id. Tables support appends (with type
+    checking against the schema), predicate/tid-set deletion (DML and log
+    compaction) and savepoints.
+
+    A savepoint captures the current row count; since mutation between a
+    savepoint and its resolution is append-only in the DataLawyer engine
+    (tentative log increments), rollback is a truncation. Deletions and
+    updates are rejected while a savepoint is outstanding.
+
+    Tables are unindexed; the executor builds transient hash indexes per
+    query, matching the ad-hoc shape of policy and witness queries. *)
+
+type t
+
+val create : name:string -> schema:Schema.t -> t
+val name : t -> string
+val schema : t -> Schema.t
+val row_count : t -> int
+
+(** Insert a row and return its tuple id.
+    @raise Errors.Sql_error on arity or cell-type mismatch. *)
+val insert : t -> Value.t array -> int
+
+val iter : (Row.t -> unit) -> t -> unit
+val fold : ('acc -> Row.t -> 'acc) -> 'acc -> t -> 'acc
+val rows : t -> Row.t list
+
+(** Binary search by tuple id (rows are sorted by tid by construction). *)
+val find_by_tid : t -> int -> Row.t option
+
+(** Delete all rows whose tid is {e not} in the given set; returns the
+    number removed. Used by log compaction's delete phase.
+    @raise Errors.Sql_error inside a savepoint. *)
+val retain_tids : t -> (int, unit) Hashtbl.t -> int
+
+(** Delete rows matching the predicate; returns the number removed.
+    @raise Errors.Sql_error inside a savepoint. *)
+val delete_where : t -> (Row.t -> bool) -> int
+
+(** Remove every row.
+    @raise Errors.Sql_error inside a savepoint. *)
+val clear : t -> unit
+
+(** In-place update of matching rows; the callback receives the old cells
+    and returns the new ones (type-checked). Returns the match count.
+    @raise Errors.Sql_error inside a savepoint. *)
+val update_where : t -> (Row.t -> bool) -> (Value.t array -> Value.t array) -> int
+
+type savepoint
+
+(** Open a savepoint; until it is released or rolled back, only appends
+    are allowed. *)
+val savepoint : t -> savepoint
+
+(** Truncate back to the savepoint, discarding rows appended since. *)
+val rollback_to : t -> savepoint -> unit
+
+(** Keep the rows appended since the savepoint and close it. *)
+val release : t -> savepoint -> unit
+
+(** Rows appended since the savepoint (the tentative increment), in
+    insertion order. *)
+val rows_since : t -> savepoint -> Row.t list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+(** Lexical tokens of the SQL dialect. *)
+
+type t =
+  | Ident of string  (** identifier or keyword; keywords resolved by parser *)
+  | Quoted_ident of string  (** double-quoted identifier; never a keyword *)
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star
+  | Plus
+  | Minus
+  | Slash
+  | Percent
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Concat  (** [||] *)
+  | Semicolon
+  | Eof
+
+let to_string = function
+  | Ident s -> s
+  | Quoted_ident s -> Printf.sprintf "%S" s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | Str_lit s -> Printf.sprintf "'%s'" s
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Dot -> "."
+  | Star -> "*"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Concat -> "||"
+  | Semicolon -> ";"
+  | Eof -> "<eof>"

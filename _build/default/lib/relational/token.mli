@@ -1,0 +1,28 @@
+(** Lexical tokens of the SQL dialect. *)
+
+type t =
+  | Ident of string  (** identifier or keyword; keywords resolved by parser *)
+  | Quoted_ident of string  (** double-quoted identifier; never a keyword *)
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star
+  | Plus
+  | Minus
+  | Slash
+  | Percent
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Concat  (** [||] *)
+  | Semicolon
+  | Eof
+
+val to_string : t -> string

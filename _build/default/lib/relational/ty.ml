@@ -1,0 +1,25 @@
+(** Column types of the relational substrate. *)
+
+type t =
+  | Int  (** 63-bit integers; also used for logical timestamps *)
+  | Float
+  | Bool
+  | Text
+
+let to_string = function
+  | Int -> "INT"
+  | Float -> "FLOAT"
+  | Bool -> "BOOL"
+  | Text -> "TEXT"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "INT" | "INTEGER" | "BIGINT" | "SMALLINT" -> Some Int
+  | "FLOAT" | "REAL" | "DOUBLE" | "NUMERIC" | "DECIMAL" -> Some Float
+  | "BOOL" | "BOOLEAN" -> Some Bool
+  | "TEXT" | "VARCHAR" | "CHAR" | "STRING" -> Some Text
+  | _ -> None
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

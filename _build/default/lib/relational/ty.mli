@@ -1,0 +1,17 @@
+(** Column types of the relational substrate. *)
+
+type t =
+  | Int  (** 63-bit integers; also used for logical timestamps *)
+  | Float
+  | Bool
+  | Text
+
+(** Canonical SQL spelling, e.g. ["INT"]. *)
+val to_string : t -> string
+
+(** Parse a SQL type name; recognizes common synonyms ([INTEGER],
+    [VARCHAR], [BOOLEAN], ...). [None] for unknown names. *)
+val of_string : string -> t option
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

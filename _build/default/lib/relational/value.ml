@@ -1,0 +1,120 @@
+(** Runtime values.
+
+    The engine is dynamically typed at execution time: every cell is a
+    [Value.t]. The binder checks types statically where it can, but
+    arithmetic promotes [Int] to [Float] as needed, mirroring the behaviour
+    of the SQL engines the paper targets.
+
+    NULL semantics are simplified with respect to full SQL three-valued
+    logic: any comparison involving [Null] is [false], and [Null] never
+    equals [Null]. The DataLawyer usage logs never contain NULLs, so the
+    simplification does not affect policy semantics. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+let type_of = function
+  | Null -> None
+  | Bool _ -> Some Ty.Bool
+  | Int _ -> Some Ty.Int
+  | Float _ -> Some Ty.Float
+  | Str _ -> Some Ty.Text
+
+let is_null = function Null -> true | Bool _ | Int _ | Float _ | Str _ -> false
+
+(* Structural equality used by DISTINCT, GROUP BY keys and hash joins.
+   Unlike SQL's [=] predicate, it treats Null as equal to Null so that
+   grouping keys behave like PostgreSQL's "NULLs group together" rule. *)
+let equal (a : t) (b : t) =
+  match a, b with
+  | Int x, Float y | Float y, Int x -> float_of_int x = y
+  | _ -> a = b
+
+(* Total order for ORDER BY and sort-based operators: Null < Bool < numbers
+   < Str; numbers compare numerically across Int/Float. *)
+let compare (a : t) (b : t) =
+  let rank = function
+    | Null -> 0
+    | Bool _ -> 1
+    | Int _ | Float _ -> 2
+    | Str _ -> 3
+  in
+  match a, b with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let hash (v : t) =
+  match v with
+  | Null -> 0
+  | Bool b -> if b then 1 else 2
+  | Int i -> Hashtbl.hash (float_of_int i) (* so Int 2 and Float 2. collide *)
+  | Float f -> Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+
+(* SQL-facing truthiness: only Bool true is true. *)
+let to_bool = function Bool b -> b | _ -> false
+
+let to_string = function
+  | Null -> "NULL"
+  | Bool true -> "true"
+  | Bool false -> "false"
+  | Int i -> string_of_int i
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.1f" f
+    else string_of_float f
+  | Str s -> s
+
+(* SQL literal syntax, suitable for re-parsing. *)
+let to_sql = function
+  | Null -> "NULL"
+  | Bool true -> "TRUE"
+  | Bool false -> "FALSE"
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.17g" f
+  | Str s ->
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '\'';
+    String.iter
+      (fun c ->
+        if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '\'';
+    Buffer.contents buf
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+(* Canonical key string such that [canonical_key a = canonical_key b] iff
+   [equal a b]; used to key hash tables for DISTINCT / GROUP BY / hash
+   joins. Integral floats collapse onto the integer encoding so that
+   [Int 2] and [Float 2.0] land in the same bucket, consistently with
+   [equal]. *)
+let canonical_key = function
+  | Null -> "n"
+  | Bool true -> "t"
+  | Bool false -> "f"
+  | Int i -> "N" ^ string_of_int i
+  | Float f ->
+    if Float.is_integer f && Float.abs f <= 1e15 then
+      "N" ^ Int64.to_string (Int64.of_float f)
+    else "F" ^ Printf.sprintf "%.17g" f
+  | Str s -> "S" ^ s
+
+let canonical_key_of_array (vs : t array) =
+  String.concat "\x01" (Array.to_list (Array.map canonical_key vs))
+
+(* Numeric coercions used by the expression evaluator. *)
+let as_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Null | Bool _ | Str _ -> None

@@ -1,0 +1,54 @@
+(** Runtime values.
+
+    Cells are dynamically typed at execution time. NULL semantics are
+    simplified with respect to full SQL three-valued logic: any comparison
+    involving [Null] is false (including [NULL = NULL]); grouping and
+    DISTINCT, however, treat [Null] as equal to [Null], as PostgreSQL
+    does. The DataLawyer usage logs never contain NULLs, so policy
+    semantics are unaffected. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+(** The value's type; [None] for [Null]. *)
+val type_of : t -> Ty.t option
+
+val is_null : t -> bool
+
+(** Structural equality used by DISTINCT, GROUP BY keys and hash joins:
+    [Null] equals [Null]; integral floats equal the corresponding ints. *)
+val equal : t -> t -> bool
+
+(** Total order for ORDER BY: Null < Bool < numbers < Str, with numbers
+    compared numerically across [Int]/[Float]. *)
+val compare : t -> t -> int
+
+(** Hash consistent with {!equal}. *)
+val hash : t -> int
+
+(** SQL-facing truthiness: only [Bool true] is true. *)
+val to_bool : t -> bool
+
+(** Human-readable rendering (no quoting). *)
+val to_string : t -> string
+
+(** SQL literal syntax, suitable for re-parsing (strings are quoted with
+    [''] escaping). *)
+val to_sql : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Canonical key string such that two values get the same key iff they
+    are {!equal}; used to key hash tables for DISTINCT / GROUP BY / hash
+    joins. *)
+val canonical_key : t -> string
+
+(** {!canonical_key} of a tuple, with an unambiguous separator. *)
+val canonical_key_of_array : t array -> string
+
+(** Numeric coercion to float; [None] for non-numeric values. *)
+val as_float : t -> float option

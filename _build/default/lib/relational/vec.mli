@@ -1,0 +1,44 @@
+(** Growable arrays (OCaml 5.1 predates [Dynarray]).
+
+    Backing storage doubles on overflow. Unused slots are overwritten with
+    the [dummy] element so truncated values can be garbage-collected. *)
+
+type 'a t
+
+(** [create ~dummy ()] is an empty vector. [dummy] fills unused slots. *)
+val create : dummy:'a -> unit -> 'a t
+
+(** Number of elements. *)
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [get t i] is the [i]-th element.
+    @raise Invalid_argument when out of bounds. *)
+val get : 'a t -> int -> 'a
+
+(** [set t i x] replaces the [i]-th element.
+    @raise Invalid_argument when out of bounds. *)
+val set : 'a t -> int -> 'a -> unit
+
+(** Append an element, growing the backing array if needed. *)
+val push : 'a t -> 'a -> unit
+
+(** [truncate t n] drops all elements at indices [>= n].
+    @raise Invalid_argument if [n] is negative or exceeds the length. *)
+val truncate : 'a t -> int -> unit
+
+(** Remove all elements. *)
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list
+val to_array : 'a t -> 'a array
+val of_list : dummy:'a -> 'a list -> 'a t
+
+(** [filter_in_place p t] keeps only elements satisfying [p], preserving
+    order; returns the number of elements removed. *)
+val filter_in_place : ('a -> bool) -> 'a t -> int

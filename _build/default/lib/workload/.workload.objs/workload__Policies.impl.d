@@ -1,0 +1,1 @@
+lib/workload/policies.ml: List Printf

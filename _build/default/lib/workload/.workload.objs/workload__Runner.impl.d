@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Datalawyer Engine List Mimic Policies Queries Relational Stats Unix

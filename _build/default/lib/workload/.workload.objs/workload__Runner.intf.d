@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Datalawyer Engine Mimic Policies Queries Relational Stats

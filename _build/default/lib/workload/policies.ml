@@ -1,0 +1,126 @@
+(** The evaluation policies P1–P6 (Table 2), expressed in DataLawyer's
+    policy language over the synthetic MIMIC instance.
+
+    The paper's wall-clock windows (200 ms, 3 s, 300 ms) become logical
+    tick windows: the engine's clock advances by one per query, and §3.1
+    already assumes an integer clock. Window sizes and thresholds are
+    parameters so experiments can scale them with the workload.
+
+    Classification expectations (checked by tests):
+    - P1: monotone, interleavable, time-dependent (sliding window);
+    - P2: time-independent, no aggregates (uses only users + schema);
+    - P3: time-independent, monotone;
+    - P4: time-independent, non-monotone (COUNT <= k);
+    - P5, P6: time-dependent sliding windows over provenance. *)
+
+type params = {
+  p1_window : int;  (** ticks; paper: 200 ms *)
+  p1_max_users : int;
+  p3_max_output : int;
+  p4_min_inputs : int;
+  p5_window : int;  (** ticks; paper: 3 s *)
+  p5_max_fraction : float;  (** fraction of d_patients; paper: half *)
+  p6_window : int;  (** ticks; paper: 300 ms *)
+  p6_max_uses : int;
+}
+
+let default_params =
+  {
+    p1_window = 50;
+    p1_max_users = 10;
+    p3_max_output = 100;
+    p4_min_inputs = 3;
+    p5_window = 500;
+    p5_max_fraction = 0.5;
+    p6_window = 100;
+    p6_max_uses = 20;
+  }
+
+type t = { name : string; sql : string }
+
+let p1 ps =
+  {
+    name = "P1";
+    sql =
+      Printf.sprintf
+        "SELECT DISTINCT 'P1 violated: more than %d distinct users from group \
+         X in a window of %d ticks' AS errorMessage FROM users u, user_groups \
+         g, clock c WHERE u.uid = g.uid AND g.gid = 'X' AND u.ts > c.ts - %d \
+         HAVING COUNT(DISTINCT u.uid) > %d"
+        ps.p1_max_users ps.p1_window ps.p1_window ps.p1_max_users;
+  }
+
+let p2 _ps =
+  {
+    name = "P2";
+    sql =
+      "SELECT DISTINCT 'P2 violated: user 1 may not join poe_order with \
+       relations other than poe_med' AS errorMessage FROM schema s1, schema \
+       s2, users u WHERE s1.ts = s2.ts AND s2.ts = u.ts AND u.uid = 1 AND \
+       s1.irid = 'poe_order' AND s2.irid != 'poe_order' AND s2.irid != \
+       'poe_med'";
+  }
+
+let p3 ps =
+  {
+    name = "P3";
+    sql =
+      Printf.sprintf
+        "SELECT DISTINCT 'P3 violated: user 1 query on d_patients returned \
+         more than %d tuples' AS errorMessage FROM provenance p, users u \
+         WHERE p.ts = u.ts AND u.uid = 1 AND p.irid = 'd_patients' GROUP BY \
+         p.ts HAVING COUNT(DISTINCT p.otid) > %d"
+        ps.p3_max_output ps.p3_max_output;
+  }
+
+let p4 ps =
+  {
+    name = "P4";
+    sql =
+      Printf.sprintf
+        "SELECT DISTINCT 'P4 violated: an output tuple over chartevents for \
+         user 1 has %d or fewer contributing inputs' AS errorMessage FROM \
+         provenance p, users u WHERE p.ts = u.ts AND u.uid = 1 AND p.irid = \
+         'chartevents' GROUP BY p.ts, p.otid HAVING COUNT(DISTINCT p.itid) <= \
+         %d"
+        ps.p4_min_inputs ps.p4_min_inputs;
+  }
+
+(* P5's threshold ("half the total tuples in d_patients") is a constant
+   computed from the instance, since HAVING admits no subqueries (§3.1). *)
+let p5 ps ~n_patients =
+  let threshold = int_of_float (float_of_int n_patients *. ps.p5_max_fraction) in
+  {
+    name = "P5";
+    sql =
+      Printf.sprintf
+        "SELECT DISTINCT 'P5 violated: user 1 used more than %d d_patients \
+         tuples within %d ticks' AS errorMessage FROM provenance p, users u, \
+         clock c WHERE p.ts = u.ts AND u.uid = 1 AND p.irid = 'd_patients' \
+         AND p.ts > c.ts - %d HAVING COUNT(DISTINCT p.itid) > %d"
+        threshold ps.p5_window ps.p5_window threshold;
+  }
+
+(* P6 counts per-tuple uses as distinct (ts, otid) pairs, encoded as a
+   single expression so the count stays DISTINCT (and hence safe for
+   partial-policy pruning, see {!Datalawyer.Policy}). *)
+let p6 ps =
+  {
+    name = "P6";
+    sql =
+      Printf.sprintf
+        "SELECT DISTINCT 'P6 violated: user 1 used one d_patients tuple more \
+         than %d times within %d ticks' AS errorMessage FROM provenance p, \
+         users u, clock c WHERE p.ts = u.ts AND u.uid = 1 AND p.irid = \
+         'd_patients' AND p.ts > c.ts - %d GROUP BY p.itid HAVING \
+         COUNT(DISTINCT p.ts * 1000000 + p.otid) > %d"
+        ps.p6_max_uses ps.p6_window ps.p6_window ps.p6_max_uses;
+  }
+
+let all ?(params = default_params) ~n_patients () =
+  [ p1 params; p2 params; p3 params; p4 params; p5 params ~n_patients; p6 params ]
+
+let find ?params ~n_patients name =
+  match List.find_opt (fun p -> p.name = name) (all ?params ~n_patients ()) with
+  | Some p -> p
+  | None -> invalid_arg ("unknown workload policy " ^ name)

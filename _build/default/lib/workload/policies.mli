@@ -1,0 +1,34 @@
+(** The evaluation policies P1–P6 (paper Table 2) over the synthetic
+    MIMIC instance, with wall-clock windows replaced by logical tick
+    windows (the engine's clock advances by one per query).
+
+    Classification (checked by tests): P1 monotone+time-dependent;
+    P2/P3/P4 time-independent; P4 non-monotone; P5/P6 sliding windows
+    over provenance. *)
+
+type params = {
+  p1_window : int;
+  p1_max_users : int;
+  p3_max_output : int;
+  p4_min_inputs : int;
+  p5_window : int;
+  p5_max_fraction : float;  (** fraction of d_patients; paper: half *)
+  p6_window : int;
+  p6_max_uses : int;
+}
+
+val default_params : params
+
+type t = { name : string; sql : string }
+
+val p1 : params -> t
+val p2 : params -> t
+val p3 : params -> t
+val p4 : params -> t
+val p5 : params -> n_patients:int -> t
+val p6 : params -> t
+
+val all : ?params:params -> n_patients:int -> unit -> t list
+
+(** @raise Invalid_argument for unknown names. *)
+val find : ?params:params -> n_patients:int -> string -> t

@@ -1,0 +1,66 @@
+(** The evaluation queries W1–W4 (Table 3), adapted to the synthetic
+    MIMIC-shaped instance. The paper chose them to cover a wide range of
+    runtimes (0.25 ms … 1.7 s); here the ranges scale with the instance:
+
+    - W1: point lookup of one patient (fastest);
+    - W2: join + aggregation for a single patient;
+    - W3: join + aggregation over ~7% of the patients;
+    - W4: join + aggregation over ~45% of the patients (slowest). *)
+
+type t = { name : string; sql : string }
+
+let w1 ~n_patients =
+  {
+    name = "W1";
+    sql =
+      Printf.sprintf "SELECT * FROM d_patients WHERE subject_id = %d"
+        (n_patients * 186 / 1000 mod n_patients);
+  }
+
+let w2 ~n_patients =
+  let subject = n_patients * 489 / 1000 mod n_patients in
+  {
+    name = "W2";
+    sql =
+      Printf.sprintf
+        "SELECT c.subject_id, p.sex, COUNT(c.subject_id) FROM chartevents c, \
+         d_patients p WHERE c.subject_id = %d AND p.subject_id = c.subject_id \
+         AND itemid = 211 GROUP BY c.subject_id, p.sex HAVING \
+         COUNT(c.subject_id) > 1"
+        subject;
+  }
+
+let w3 ~n_patients =
+  let hi = n_patients in
+  let lo = n_patients - max 2 (n_patients * 7 / 100) in
+  {
+    name = "W3";
+    sql =
+      Printf.sprintf
+        "SELECT c.subject_id, p.sex, COUNT(c.subject_id) FROM chartevents c, \
+         d_patients p WHERE c.subject_id < %d AND c.subject_id > %d AND \
+         p.subject_id = c.subject_id AND itemid = 211 GROUP BY c.subject_id, \
+         p.sex HAVING COUNT(c.subject_id) > 2"
+        hi lo;
+  }
+
+let w4 ~n_patients =
+  let hi = n_patients * 98 / 100 in
+  let lo = n_patients * 35 / 100 in
+  {
+    name = "W4";
+    sql =
+      Printf.sprintf
+        "SELECT c.subject_id, p.sex, COUNT(c.subject_id) FROM chartevents c, \
+         d_patients p WHERE c.subject_id < %d AND c.subject_id > %d AND \
+         p.subject_id = c.subject_id AND itemid = 211 GROUP BY c.subject_id, \
+         p.sex HAVING COUNT(c.subject_id) > 1"
+        hi lo;
+  }
+
+let all ~n_patients = [ w1 ~n_patients; w2 ~n_patients; w3 ~n_patients; w4 ~n_patients ]
+
+let find ~n_patients name =
+  match List.find_opt (fun q -> q.name = name) (all ~n_patients) with
+  | Some q -> q
+  | None -> invalid_arg ("unknown workload query " ^ name)

@@ -1,0 +1,16 @@
+(** The evaluation queries W1–W4 (paper Table 3), adapted to the synthetic
+    MIMIC-shaped instance. They cover a wide range of runtimes: W1 is a
+    point lookup; W2 joins and aggregates one patient; W3 covers ~7% of
+    the patients; W4 ~60%. *)
+
+type t = { name : string; sql : string }
+
+val w1 : n_patients:int -> t
+val w2 : n_patients:int -> t
+val w3 : n_patients:int -> t
+val w4 : n_patients:int -> t
+
+val all : n_patients:int -> t list
+
+(** @raise Invalid_argument for unknown names. *)
+val find : n_patients:int -> string -> t

@@ -1,0 +1,50 @@
+(** Harness for running experiment configurations: build an instance,
+    install policies, submit query streams, and aggregate per-phase
+    statistics. Used by both the test suite and the benchmark drivers. *)
+
+open Datalawyer
+
+type setup = {
+  db : Relational.Database.t;
+  engine : Engine.t;
+  mimic : Mimic.Generate.config;
+  params : Policies.params;
+}
+
+let make ?(mimic = Mimic.Generate.small_config) ?(params = Policies.default_params)
+    ?(config = Engine.default_config) ?(policy_names = [ "P1"; "P2"; "P3"; "P4"; "P5"; "P6" ])
+    () : setup =
+  let db = Mimic.Generate.database ~config:mimic () in
+  let engine = Engine.create ~config db in
+  List.iter
+    (fun name ->
+      let p = Policies.find ~params ~n_patients:mimic.Mimic.Generate.n_patients name in
+      ignore (Engine.add_policy engine ~name:p.Policies.name p.Policies.sql))
+    policy_names;
+  { db; engine; mimic; params }
+
+let query s name =
+  Queries.find ~n_patients:s.mimic.Mimic.Generate.n_patients name
+
+(* Submit [n] copies of a query as [uid]; returns per-query stats (in
+   submission order) and the number of rejections. *)
+let run_stream (s : setup) ~uid ~n (q : Queries.t) : Stats.t list * int =
+  let rejected = ref 0 in
+  let stats = ref [] in
+  for _ = 1 to n do
+    match Engine.submit s.engine ~uid q.Queries.sql with
+    | Engine.Accepted (_, st) -> stats := st :: !stats
+    | Engine.Rejected (_, st) ->
+      incr rejected;
+      stats := st :: !stats
+  done;
+  (List.rev !stats, !rejected)
+
+(* Plain query execution time without any policy machinery (the paper's
+   "unmodified PostgreSQL" bar), averaged over [n] runs. *)
+let plain_query_time (s : setup) ~n (q : Queries.t) : float =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do
+    ignore (Relational.Database.query s.db q.Queries.sql)
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int n

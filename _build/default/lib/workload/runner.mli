@@ -1,0 +1,32 @@
+(** Harness for running experiment configurations: build an instance,
+    install policies, submit query streams, aggregate per-phase stats. *)
+
+open Datalawyer
+
+type setup = {
+  db : Relational.Database.t;
+  engine : Engine.t;
+  mimic : Mimic.Generate.config;
+  params : Policies.params;
+}
+
+(** Build an instance and engine with the named Table 2 policies
+    installed (default: all six). *)
+val make :
+  ?mimic:Mimic.Generate.config ->
+  ?params:Policies.params ->
+  ?config:Engine.config ->
+  ?policy_names:string list ->
+  unit ->
+  setup
+
+(** Resolve a workload query for this setup's scale. *)
+val query : setup -> string -> Queries.t
+
+(** Submit [n] copies of a query as [uid]; returns per-query stats in
+    submission order and the number of rejections. *)
+val run_stream : setup -> uid:int -> n:int -> Queries.t -> Stats.t list * int
+
+(** Mean plain execution time without policy machinery (the paper's
+    "unmodified PostgreSQL" bar). *)
+val plain_query_time : setup -> n:int -> Queries.t -> float

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Ast Catalog Database Datalawyer Engine Errors List Parser Partial Relational Sql_print Test_policy Test_support

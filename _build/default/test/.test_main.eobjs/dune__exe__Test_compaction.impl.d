@@ -1,0 +1,1 @@
+test/test_compaction.ml: Alcotest Ast Catalog Database Datalawyer Engine Executor Hashtbl List Printf Relational Row Sql_print Table Test_policy Test_support Usage_log Value Witness

@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Csv_io Database Errors Option Relational Schema Table Test_support Ty

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Datalawyer Engine Executor List Mimic Relational String Test_support Workload

@@ -1,0 +1,1 @@
+test/test_engine_strategies.ml: Alcotest Datalawyer Engine List Mimic Printf Relational Stats Test_support Workload

@@ -1,0 +1,1 @@
+test/test_executor.ml: Alcotest Database Errors List Relational Table Test_support

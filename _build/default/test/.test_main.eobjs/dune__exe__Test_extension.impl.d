@@ -1,0 +1,1 @@
+test/test_extension.ml: Advisor Alcotest Database Datalawyer Engine List Parser Policy Pricing Printf Relational Templates Test_policy Test_support Ty Usage_log Value

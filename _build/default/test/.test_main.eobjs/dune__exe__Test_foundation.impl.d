@@ -1,0 +1,1 @@
+test/test_foundation.ml: Alcotest Ast Csv_io Database Datalawyer Lineage List Mimic Option Parser Printf Relational Stats Test_support Ty Value Vec Workload

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Array Errors Format Lexer Relational Test_support Token

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Errors Format List Parser Printexc Relational Sql_print Test_support Value

@@ -1,0 +1,1 @@
+test/test_partial.ml: Alcotest Ast Catalog Database Datalawyer Engine Executor List Mimic Partial Policy Printf Relational Sql_print Stats String Table Test_policy Test_support Workload

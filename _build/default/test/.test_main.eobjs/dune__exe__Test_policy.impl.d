@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Catalog Database Datalawyer Engine Errors Mimic Policy Relational Sql_print String Test_support Time_independent Workload

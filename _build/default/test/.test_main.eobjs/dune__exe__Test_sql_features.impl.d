@@ -1,0 +1,1 @@
+test/test_sql_features.ml: Alcotest Ast Database Datalawyer Engine Errors List Parser Relational Sql_print Test_support

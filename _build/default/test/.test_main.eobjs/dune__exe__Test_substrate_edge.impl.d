@@ -1,0 +1,1 @@
+test/test_substrate_edge.ml: Alcotest Catalog Database Errors Relational Row Schema Table Test_policy Test_support Ty Value

@@ -1,0 +1,1 @@
+test/test_unify.ml: Alcotest Catalog Database Datalawyer Engine Executor List Mimic Policy Printf Relational Sql_print Table Test_policy Test_support Unify

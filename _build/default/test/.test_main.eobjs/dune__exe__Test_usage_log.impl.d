@@ -1,0 +1,1 @@
+test/test_usage_log.ml: Alcotest Array Database Datalawyer Engine List Parser Relational Test_support Usage_log Value

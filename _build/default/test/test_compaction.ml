@@ -1,0 +1,184 @@
+(* Log compaction behaviour at the engine level: witness unions across
+   policies, database-relation filters in witnesses, shrinking after
+   policy removal, and Example 4.3's concrete shape. *)
+
+open Relational
+open Datalawyer
+open Test_support
+
+let mk_db () =
+  db_of_script
+    {|
+    CREATE TABLE items (id INT, kind TEXT);
+    CREATE TABLE memberships (uid INT, gid TEXT);
+    INSERT INTO items VALUES (1, 'a'), (2, 'b');
+    INSERT INTO memberships VALUES (1, 'student'), (2, 'student'), (3, 'staff')
+    |}
+
+let rate_policy ~name ~window =
+  ( name,
+    Printf.sprintf
+      "SELECT DISTINCT '%s violated' FROM users u, clock c WHERE u.ts > c.ts \
+       - %d HAVING COUNT(DISTINCT u.ts) > 1000"
+      name window )
+
+let submit e uid = ignore (Engine.submit e ~uid "SELECT id FROM items WHERE id = 1")
+
+let test_union_of_witnesses () =
+  (* Two window policies over users: the longer window wins. *)
+  let db = mk_db () in
+  let e = Engine.create db in
+  let n1, s1 = rate_policy ~name:"narrow" ~window:3 in
+  let n2, s2 = rate_policy ~name:"wide" ~window:12 in
+  ignore (Engine.add_policy e ~name:n1 s1);
+  ignore (Engine.add_policy e ~name:n2 s2);
+  for _ = 1 to 30 do
+    submit e 1
+  done;
+  let sz = Engine.log_size e "users" in
+  (* retained ≈ the 12-tick window (plus frontier slack), not 3, not 30 *)
+  Alcotest.(check bool) (Printf.sprintf "between windows (got %d)" sz) true
+    (sz >= 10 && sz <= 14)
+
+let test_removal_shrinks_log () =
+  let db = mk_db () in
+  let e = Engine.create db in
+  let n2, s2 = rate_policy ~name:"wide" ~window:12 in
+  let n1, s1 = rate_policy ~name:"narrow" ~window:3 in
+  ignore (Engine.add_policy e ~name:n2 s2);
+  ignore (Engine.add_policy e ~name:n1 s1);
+  for _ = 1 to 20 do
+    submit e 1
+  done;
+  let before = Engine.log_size e "users" in
+  Engine.remove_policy e n2;
+  for _ = 1 to 2 do
+    submit e 1
+  done;
+  let after = Engine.log_size e "users" in
+  Alcotest.(check bool)
+    (Printf.sprintf "log shrank to the narrow window (%d -> %d)" before after)
+    true
+    (after < before && after <= 5)
+
+let test_witness_filters_by_db_relation () =
+  (* Only 'student' members' activity needs keeping (Example 4.2). *)
+  let db = mk_db () in
+  let e = Engine.create db in
+  ignore
+    (Engine.add_policy e ~name:"students"
+       "SELECT DISTINCT 'too many students' FROM users u, memberships m, \
+        clock c WHERE u.uid = m.uid AND m.gid = 'student' AND u.ts > c.ts - \
+        50 HAVING COUNT(DISTINCT u.uid) > 100");
+  submit e 1;
+  (* student *)
+  submit e 3;
+  (* staff *)
+  submit e 2;
+  (* student *)
+  submit e 9;
+  (* not a member at all *)
+  let users = Database.table db "users" in
+  let uids =
+    List.sort Value.compare (List.map (fun r -> Row.cell r 1) (Table.rows users))
+  in
+  Alcotest.check (Alcotest.list value) "only student uids retained"
+    [ i 1; i 2 ] uids
+
+let test_example_4_3_shape () =
+  (* The users witness of Example 4.3: membership join kept, time
+     predicate frozen, schema in the neighborhood. *)
+  let db = mk_db () in
+  let e = Engine.create db in
+  let p =
+    Engine.add_policy e ~name:"p2b"
+      "SELECT DISTINCT 'P2b' FROM users u, schema s, memberships g, clock c \
+       WHERE u.ts = s.ts AND s.irid = 'items' AND u.uid = g.uid AND g.gid = \
+       'student' AND u.ts > c.ts - 14 HAVING COUNT(DISTINCT u.uid) > 10"
+  in
+  let is_log rel = Catalog.is_log (Database.catalog db) rel in
+  match List.assoc_opt "users" (Witness.for_policy ~is_log ~now:100 p) with
+  | Some (Witness.Queries [ w ]) ->
+    let sql = Sql_print.select w in
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool) ("witness contains " ^ needle) true
+          (Test_policy.contains_substring sql needle))
+      [ "u.*"; "schema"; "memberships"; "101" ];
+    Alcotest.(check bool) "clock dropped" false
+      (Test_policy.contains_substring sql "clock")
+  | _ -> Alcotest.fail "expected a single users witness"
+
+let test_ti_only_relations_never_generated () =
+  (* A TI policy over schema and a window policy over users: provenance is
+     never generated, schema is generated but never stored. *)
+  let db = mk_db () in
+  let e = Engine.create db in
+  ignore
+    (Engine.add_policy e ~name:"ti"
+       "SELECT DISTINCT 'no b items' FROM schema s, users u WHERE s.ts = \
+        u.ts AND s.irid = 'nonexistent_kind'");
+  let n1, s1 = rate_policy ~name:"narrow" ~window:3 in
+  ignore (Engine.add_policy e ~name:n1 s1);
+  for _ = 1 to 10 do
+    submit e 1
+  done;
+  Alcotest.(check int) "schema never stored" 0 (Engine.log_size e "schema");
+  Alcotest.(check int) "provenance untouched" 0 (Engine.log_size e "provenance");
+  Alcotest.(check bool) "users window stored" true (Engine.log_size e "users" > 0)
+
+let test_self_join_witness_union () =
+  (* A time-dependent self-join policy: both occurrences' witnesses union,
+     keeping rows that satisfy either side's predicates. *)
+  let db = mk_db () in
+  let e = Engine.create db in
+  let p =
+    Engine.add_policy e ~name:"sj"
+      "SELECT DISTINCT 'x' FROM schema s1, schema s2, clock c WHERE s1.ts = \
+       s2.ts AND s1.irid = 'items' AND s2.irid != 'items' AND s1.ts > c.ts - 9"
+  in
+  let is_log rel = Catalog.is_log (Database.catalog db) rel in
+  (match List.assoc_opt "schema" (Witness.for_policy ~is_log ~now:50 p) with
+  | Some (Witness.Queries qs) ->
+    Alcotest.(check int) "two witness queries" 2 (List.length qs)
+  | _ -> Alcotest.fail "expected queries");
+  (* semantically: rows of both polarities inside the window are retained *)
+  let sch = Database.table db "schema" in
+  let add ts irid =
+    ignore
+      (Table.insert sch [| i ts; Value.Null; s irid; Value.Null; b false |])
+  in
+  add 45 "items";
+  add 45 "other";
+  add 30 "items";
+  (* out of window *)
+  Usage_log.set_clock db 50;
+  let retained = Hashtbl.create 8 in
+  (match List.assoc "schema" (Witness.for_policy ~is_log ~now:50 p) with
+  | Witness.Queries qs ->
+    List.iter
+      (fun q ->
+        let r =
+          Executor.run
+            ~opts:{ Executor.lineage = false; track_src = true }
+            (Database.catalog db) (Ast.Select q)
+        in
+        List.iter
+          (fun (row : Executor.row_out) ->
+            List.iter
+              (fun (slot, tid) -> if slot = 0 then Hashtbl.replace retained tid ())
+              row.Executor.src_tids)
+          r.Executor.out_rows)
+      qs
+  | Witness.Keep_all -> Alcotest.fail "unexpected Keep_all");
+  Alcotest.(check int) "both in-window rows retained" 2 (Hashtbl.length retained)
+
+let suite =
+  [
+    tc "union of witnesses across policies" test_union_of_witnesses;
+    tc "policy removal shrinks the log" test_removal_shrinks_log;
+    tc "witness filters via database relation" test_witness_filters_by_db_relation;
+    tc "Example 4.3 witness shape" test_example_4_3_shape;
+    tc "TI-only relations never stored" test_ti_only_relations_never_generated;
+    tc "self-join witness union" test_self_join_witness_union;
+  ]

@@ -1,0 +1,79 @@
+open Relational
+open Test_support
+
+let test_roundtrip () =
+  let db = sample_db () in
+  let csv = Csv_io.export db ~table:"emp" in
+  let db2 = Database.create () in
+  let n = Csv_io.import db2 ~table:"emp" csv in
+  Alcotest.(check int) "all rows imported" 5 n;
+  check_rows "same contents"
+    (Database.rows db "SELECT * FROM emp")
+    (Database.rows db2 "SELECT * FROM emp");
+  (* inferred schema matches *)
+  Alcotest.(check string) "schema inferred"
+    (Schema.to_string (Table.schema (Database.table db "emp")))
+    (Schema.to_string (Table.schema (Database.table db2 "emp")))
+
+let test_quoting () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (a TEXT, b INT)");
+  let t = Database.table db "t" in
+  ignore (Table.insert t [| s "has,comma"; i 1 |]);
+  ignore (Table.insert t [| s "has \"quotes\""; i 2 |]);
+  ignore (Table.insert t [| s "has\nnewline"; i 3 |]);
+  let csv = Csv_io.export db ~table:"t" in
+  let db2 = Database.create () in
+  ignore (Csv_io.import db2 ~table:"t" csv);
+  check_rows "quoted fields survive"
+    (Database.rows db "SELECT a, b FROM t")
+    (Database.rows db2 "SELECT a, b FROM t")
+
+let test_nulls () =
+  let db = Database.create () in
+  ignore (Database.exec db "CREATE TABLE t (a INT, b TEXT)");
+  let t = Database.table db "t" in
+  ignore (Table.insert t [| null; s "x" |]);
+  ignore (Table.insert t [| i 2; null |]);
+  let csv = Csv_io.export db ~table:"t" in
+  let db2 = Database.create () in
+  ignore (Database.exec db2 "CREATE TABLE t (a INT, b TEXT)");
+  ignore (Csv_io.import db2 ~table:"t" csv);
+  check_rows "nulls round-trip"
+    [ [ null; s "x" ]; [ i 2; null ] ]
+    (Database.rows db2 "SELECT a, b FROM t")
+
+let test_type_inference () =
+  let db = Database.create () in
+  ignore
+    (Csv_io.import db ~table:"t" "i,f,b,s\n1,1.5,true,abc\n2,2.5,false,def\n");
+  let schema = Table.schema (Database.table db "t") in
+  let ty name =
+    (Schema.column schema (Option.get (Schema.find_index schema name))).Schema.ty
+  in
+  Alcotest.(check string) "int" "INT" (Ty.to_string (ty "i"));
+  Alcotest.(check string) "float" "FLOAT" (Ty.to_string (ty "f"));
+  Alcotest.(check string) "bool" "BOOL" (Ty.to_string (ty "b"));
+  Alcotest.(check string) "text" "TEXT" (Ty.to_string (ty "s"))
+
+let test_errors () =
+  let db = Database.create () in
+  (match Csv_io.import db ~table:"t" "" with
+  | exception Errors.Sql_error (Errors.Parse_error, _) -> ()
+  | _ -> Alcotest.fail "empty input must fail");
+  (match Csv_io.import db ~table:"t2" "a,b\n1\n" with
+  | exception Errors.Sql_error (Errors.Parse_error, _) -> ()
+  | _ -> Alcotest.fail "ragged record must fail");
+  ignore (Database.exec db "CREATE TABLE t3 (a INT)");
+  match Csv_io.import db ~table:"t3" "a\nnot_an_int\n" with
+  | exception Errors.Sql_error (Errors.Type_error, _) -> ()
+  | _ -> Alcotest.fail "coercion failure must fail"
+
+let suite =
+  [
+    tc "round-trip" test_roundtrip;
+    tc "quoting" test_quoting;
+    tc "nulls" test_nulls;
+    tc "type inference" test_type_inference;
+    tc "errors" test_errors;
+  ]

@@ -1,0 +1,255 @@
+open Relational
+open Datalawyer
+open Test_support
+
+(* A tiny data-market database in the spirit of Table 1: a licensed
+   provider table plus an in-house table. *)
+let market_db () =
+  db_of_script
+    {|
+    CREATE TABLE navteq (poi_id INT, name TEXT, lat FLOAT, lon FLOAT);
+    CREATE TABLE inhouse (poi_id INT, revenue INT);
+    INSERT INTO navteq VALUES (1, 'cafe', 47.6, -122.3), (2, 'museum', 47.61, -122.33);
+    INSERT INTO inhouse VALUES (1, 100), (2, 250)
+    |}
+
+let no_join_policy =
+  (* Table 1's P1 / Example 4.1: never join navteq with anything else. *)
+  "SELECT DISTINCT 'no external joins allowed' AS errorMessage \
+   FROM schema s1, schema s2 \
+   WHERE s1.ts = s2.ts AND s1.irid = 'navteq' AND s2.irid != 'navteq'"
+
+let accepted = function Engine.Accepted _ -> true | Engine.Rejected _ -> false
+let messages = function Engine.Rejected (ms, _) -> ms | Engine.Accepted _ -> []
+
+let test_accept_and_reject () =
+  let db = market_db () in
+  let e = Engine.create db in
+  ignore (Engine.add_policy e ~name:"no_join" no_join_policy);
+  Alcotest.(check bool) "plain navteq query accepted" true
+    (accepted (Engine.submit e ~uid:0 "SELECT name FROM navteq"));
+  Alcotest.(check bool) "inhouse query accepted" true
+    (accepted (Engine.submit e ~uid:0 "SELECT revenue FROM inhouse"));
+  let r =
+    Engine.submit e ~uid:0
+      "SELECT n.name, i.revenue FROM navteq n, inhouse i WHERE n.poi_id = i.poi_id"
+  in
+  Alcotest.(check bool) "join rejected" false (accepted r);
+  Alcotest.(check (list string)) "error message surfaces"
+    [ "no external joins allowed" ] (messages r)
+
+let test_rejection_reverts_log () =
+  let db = market_db () in
+  let e = Engine.create ~config:Engine.noopt_config db in
+  ignore (Engine.add_policy e ~name:"no_join" no_join_policy);
+  ignore (Engine.submit e ~uid:0 "SELECT name FROM navteq");
+  let before = Engine.log_size e "schema" in
+  let r =
+    Engine.submit e ~uid:0
+      "SELECT n.name, i.revenue FROM navteq n, inhouse i WHERE n.poi_id = i.poi_id"
+  in
+  Alcotest.(check bool) "rejected" false (accepted r);
+  Alcotest.(check int) "log reverted after rejection" before
+    (Engine.log_size e "schema")
+
+let test_query_results_returned () =
+  let db = market_db () in
+  let e = Engine.create db in
+  ignore (Engine.add_policy e ~name:"no_join" no_join_policy);
+  match Engine.submit e ~uid:0 "SELECT name FROM navteq WHERE poi_id = 2" with
+  | Engine.Accepted (r, _) ->
+    Alcotest.(check int) "one row" 1 (List.length r.Executor.out_rows)
+  | Engine.Rejected _ -> Alcotest.fail "should be accepted"
+
+(* Rate limiting (Table 1's P4): at most 3 queries per user in any window
+   of 5 ticks. Exercises clock, window semantics and log persistence. *)
+let rate_limit_policy =
+  "SELECT DISTINCT 'rate limit exceeded' FROM users u, clock c \
+   WHERE u.uid = 1 AND u.ts > c.ts - 5 \
+   HAVING COUNT(DISTINCT u.ts) > 3"
+
+let test_rate_limiting config =
+  let db = market_db () in
+  let e = Engine.create ~config db in
+  ignore (Engine.add_policy e ~name:"rate" rate_limit_policy);
+  let submit () = accepted (Engine.submit e ~uid:1 "SELECT name FROM navteq") in
+  (* ticks 1,2,3 accepted; tick 4 would be the 4th in window -> rejected *)
+  Alcotest.(check bool) "q1" true (submit ());
+  Alcotest.(check bool) "q2" true (submit ());
+  Alcotest.(check bool) "q3" true (submit ());
+  Alcotest.(check bool) "q4 rejected" false (submit ());
+  (* rejected queries also consume ticks; once the early queries age out
+     of the window, submissions succeed again *)
+  Alcotest.(check bool) "q5 rejected" false (submit ());
+  Alcotest.(check bool) "q6 ok (window slid)" true (submit ());
+  (* other users unaffected *)
+  Alcotest.(check bool) "uid 2 ok" true
+    (accepted (Engine.submit e ~uid:2 "SELECT name FROM navteq"))
+
+let test_rate_limiting_optimized () = test_rate_limiting Engine.default_config
+let test_rate_limiting_noopt () = test_rate_limiting Engine.noopt_config
+
+let test_compaction_bounds_log () =
+  let db = market_db () in
+  let e = Engine.create ~config:Engine.default_config db in
+  ignore (Engine.add_policy e ~name:"rate" rate_limit_policy);
+  for _ = 1 to 40 do
+    ignore (Engine.submit e ~uid:1 "SELECT name FROM navteq")
+  done;
+  (* the witness keeps at most the 5-tick window (plus the increment) *)
+  Alcotest.(check bool) "users log bounded"
+    true
+    (Engine.log_size e "users" <= 8);
+  let db2 = market_db () in
+  let e2 = Engine.create ~config:Engine.noopt_config db2 in
+  ignore (Engine.add_policy e2 ~name:"rate" rate_limit_policy);
+  for _ = 1 to 40 do
+    ignore (Engine.submit e2 ~uid:1 "SELECT name FROM navteq")
+  done;
+  Alcotest.(check bool) "noopt log grows" true (Engine.log_size e2 "users" > 20)
+
+let test_ti_policy_stores_nothing () =
+  let db = market_db () in
+  let e = Engine.create ~config:Engine.default_config db in
+  (* no_join is time-independent: with TI + compaction nothing persists *)
+  ignore (Engine.add_policy e ~name:"no_join" no_join_policy);
+  for _ = 1 to 10 do
+    ignore (Engine.submit e ~uid:0 "SELECT name FROM navteq")
+  done;
+  Alcotest.(check int) "schema log empty" 0 (Engine.log_size e "schema")
+
+let test_multiple_policies_all_messages () =
+  let db = market_db () in
+  let e = Engine.create ~config:{ Engine.default_config with strategy = Engine.Serial } db in
+  ignore (Engine.add_policy e ~name:"no_join" no_join_policy);
+  ignore
+    (Engine.add_policy e ~name:"no_inhouse"
+       "SELECT DISTINCT 'inhouse is off-limits' FROM schema s WHERE s.irid = 'inhouse'");
+  let r =
+    Engine.submit e ~uid:0
+      "SELECT n.name FROM navteq n, inhouse i WHERE n.poi_id = i.poi_id"
+  in
+  Alcotest.(check (slist string compare)) "both violations reported"
+    [ "inhouse is off-limits"; "no external joins allowed" ]
+    (messages r)
+
+let test_policy_added_mid_stream () =
+  let db = market_db () in
+  let e = Engine.create db in
+  Alcotest.(check bool) "unrestricted at first" true
+    (accepted
+       (Engine.submit e ~uid:0
+          "SELECT n.name FROM navteq n, inhouse i WHERE n.poi_id = i.poi_id"));
+  ignore (Engine.add_policy e ~name:"no_join" no_join_policy);
+  Alcotest.(check bool) "restricted after registration" false
+    (accepted
+       (Engine.submit e ~uid:0
+          "SELECT n.name FROM navteq n, inhouse i WHERE n.poi_id = i.poi_id"));
+  Engine.remove_policy e "no_join";
+  Alcotest.(check bool) "unrestricted after removal" true
+    (accepted
+       (Engine.submit e ~uid:0
+          "SELECT n.name FROM navteq n, inhouse i WHERE n.poi_id = i.poi_id"))
+
+(* The paper's P5b (Example 3.1): k-anonymity-flavoured output check. *)
+let test_p5b_output_privacy () =
+  let db =
+    db_of_script
+      {|
+      CREATE TABLE patients (pid INT, dob INT, sex TEXT);
+      INSERT INTO patients VALUES
+        (1, 1960, 'M'), (2, 1960, 'M'), (3, 1960, 'M'), (4, 1961, 'F')
+      |}
+  in
+  let e = Engine.create db in
+  ignore
+    (Engine.add_policy e ~name:"P5b"
+       "SELECT DISTINCT 'P5b violated: fewer than 3 patients contribute to an \
+        answer' AS errorMessage FROM provenance p WHERE p.irid = 'patients' \
+        GROUP BY p.ts, p.otid HAVING COUNT(DISTINCT p.itid) < 3");
+  (* aggregate over 3 patients: fine *)
+  Alcotest.(check bool) "coarse aggregate ok" true
+    (accepted
+       (Engine.submit e ~uid:1
+          "SELECT dob, COUNT(*) FROM patients WHERE dob = 1960 GROUP BY dob"));
+  (* singling out one patient: each output tuple has 1 contributor *)
+  Alcotest.(check bool) "identifying query rejected" false
+    (accepted (Engine.submit e ~uid:1 "SELECT sex FROM patients WHERE pid = 4"))
+
+(* Cross-configuration equivalence: every optimization must preserve
+   accept/reject decisions. Runs a mixed stream under NoOpt and under the
+   fully optimized engine and compares outcomes query by query. *)
+let test_noopt_equivalence () =
+  let mimic = { Mimic.Generate.small_config with n_patients = 60; events_per_patient = 6 } in
+  let params =
+    {
+      Workload.Policies.default_params with
+      p1_window = 6;
+      p1_max_users = 2;
+      p3_max_output = 20;
+      p5_window = 10;
+      p5_max_fraction = 0.4;
+      p6_window = 8;
+      p6_max_uses = 3;
+    }
+  in
+  let stream =
+    (* (uid, query name) pairs mixing users and query sizes *)
+    [ (0, "W1"); (1, "W1"); (1, "W2"); (0, "W4"); (1, "W3"); (1, "W4");
+      (2, "W1"); (1, "W1"); (3, "W2"); (1, "W4"); (4, "W1"); (1, "W3");
+      (1, "W2"); (0, "W2"); (1, "W4"); (5, "W1"); (1, "W1"); (1, "W3") ]
+  in
+  let run config =
+    let s = Workload.Runner.make ~mimic ~params ~config () in
+    List.map
+      (fun (uid, qname) ->
+        let q = Workload.Runner.query s qname in
+        match Engine.submit s.Workload.Runner.engine ~uid q.Workload.Queries.sql with
+        | Engine.Accepted _ -> "A"
+        | Engine.Rejected (ms, _) -> "R:" ^ String.concat "," (List.sort compare ms))
+      stream
+  in
+  let noopt = run Engine.noopt_config in
+  let full = run Engine.default_config in
+  Alcotest.(check (list string)) "optimizations preserve decisions" noopt full;
+  (* and each optimization alone *)
+  let base = Engine.noopt_config in
+  List.iter
+    (fun (label, config) ->
+      Alcotest.(check (list string)) label noopt (run config))
+    [
+      ("ti only", { base with Engine.time_independent = true });
+      ("compaction only", { base with Engine.log_compaction = true });
+      ("serial strategy", { base with Engine.strategy = Engine.Serial });
+      ( "interleaved only",
+        { base with Engine.strategy = Engine.Interleaved } );
+      ( "interleaved+improved",
+        {
+          base with
+          Engine.strategy = Engine.Interleaved;
+          improved_partial = true;
+        } );
+      ( "compaction+preemptive+ti",
+        {
+          base with
+          Engine.log_compaction = true;
+          preemptive = true;
+          time_independent = true;
+        } );
+      ("unification only", { base with Engine.unification = true });
+    ]
+
+let suite =
+  [
+    tc "accept and reject" test_accept_and_reject;
+    tc "rejection reverts log" test_rejection_reverts_log;
+    tc "query results returned" test_query_results_returned;
+    tc "rate limiting (optimized)" test_rate_limiting_optimized;
+    tc "rate limiting (noopt)" test_rate_limiting_noopt;
+    tc "compaction bounds log" test_compaction_bounds_log;
+    tc "TI policy stores nothing" test_ti_policy_stores_nothing;
+    tc "multiple policies report all messages" test_multiple_policies_all_messages;
+    tc "policy added mid-stream" test_policy_added_mid_stream;
+    tc "P5b output privacy" test_p5b_output_privacy;
+    Alcotest.test_case "noopt equivalence" `Slow test_noopt_equivalence;
+  ]

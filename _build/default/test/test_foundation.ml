@@ -1,0 +1,165 @@
+(* Unit tests for the foundation modules: Vec, Value, Ty, Lineage, Stats,
+   and the workload definitions. *)
+
+open Relational
+open Test_support
+
+let test_vec_basics () =
+  let v = Vec.create ~dummy:0 () in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  for k = 1 to 100 do
+    Vec.push v k
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 41);
+  Vec.set v 41 (-1);
+  Alcotest.(check int) "set" (-1) (Vec.get v 41);
+  Alcotest.(check int) "fold" (5050 - 42 - 1) (Vec.fold_left ( + ) 0 v);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 99) v);
+  Vec.truncate v 10;
+  Alcotest.(check (list int)) "truncate + to_list"
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] (Vec.to_list v);
+  (match Vec.get v 10 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out of bounds get must fail");
+  Vec.clear v;
+  Alcotest.(check int) "clear" 0 (Vec.length v)
+
+let test_vec_of_list () =
+  let v = Vec.of_list ~dummy:"" [ "a"; "b"; "c" ] in
+  Alcotest.(check (array string)) "to_array" [| "a"; "b"; "c" |] (Vec.to_array v)
+
+let test_value_equal_cross_numeric () =
+  Alcotest.(check bool) "int ~ float" true (Value.equal (i 2) (f 2.));
+  Alcotest.(check bool) "int <> float" false (Value.equal (i 2) (f 2.5));
+  Alcotest.(check int) "compare across" 0 (Value.compare (i 2) (f 2.));
+  Alcotest.(check bool) "hash agrees" true (Value.hash (i 2) = Value.hash (f 2.))
+
+let test_value_to_sql_roundtrip () =
+  List.iter
+    (fun v ->
+      let parsed = Parser.expr (Value.to_sql v) in
+      match parsed with
+      | Ast.Lit v' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "to_sql round-trips %s" (Value.to_string v))
+          true (Value.equal v v')
+      | _ -> Alcotest.fail "literal expected")
+    [ null; b true; b false; i 0; i (-17); f 2.5; s "it's"; s "" ]
+
+let test_ty_of_string () =
+  Alcotest.(check (option string)) "varchar" (Some "TEXT")
+    (Option.map Ty.to_string (Ty.of_string "VarChar"));
+  Alcotest.(check (option string)) "numeric" (Some "FLOAT")
+    (Option.map Ty.to_string (Ty.of_string "numeric"));
+  Alcotest.(check (option string)) "unknown" None
+    (Option.map Ty.to_string (Ty.of_string "blob"))
+
+let test_lineage () =
+  let a = Lineage.singleton "r" 1 in
+  let b = Lineage.singleton "r" 2 in
+  let u = Lineage.union a b in
+  Alcotest.(check int) "union cardinality" 2 (Lineage.cardinal u);
+  Alcotest.(check bool) "idempotent" true
+    (Lineage.to_list (Lineage.union u a) = Lineage.to_list u);
+  let off = Lineage.union Lineage.off u in
+  Alcotest.(check bool) "off absorbs" false (Lineage.is_tracking off);
+  Alcotest.(check (list (pair string int))) "to_list sorted"
+    [ ("r", 1); ("r", 2) ] (Lineage.to_list u)
+
+let test_stats_arithmetic () =
+  let open Datalawyer in
+  let a = Stats.create () in
+  a.Stats.log_track <- 1.0;
+  a.Stats.policy_calls <- 3;
+  let b = Stats.create () in
+  b.Stats.policy_eval <- 2.0;
+  b.Stats.policy_calls <- 1;
+  let c = Stats.add a b in
+  Alcotest.(check (float 1e-9)) "overhead" 3.0 (Stats.overhead c);
+  Alcotest.(check int) "calls" 4 c.Stats.policy_calls;
+  let m = Stats.mean [ a; b ] in
+  Alcotest.(check (float 1e-9)) "mean track" 0.5 m.Stats.log_track;
+  Alcotest.(check (float 1e-9)) "total = overhead + query" (Stats.total c)
+    (Stats.overhead c +. c.Stats.query_exec)
+
+let test_workload_definitions () =
+  let n_patients = 200 in
+  let qs = Workload.Queries.all ~n_patients in
+  Alcotest.(check (list string)) "query names" [ "W1"; "W2"; "W3"; "W4" ]
+    (List.map (fun q -> q.Workload.Queries.name) qs);
+  (* every query parses *)
+  List.iter (fun q -> ignore (Parser.query q.Workload.Queries.sql)) qs;
+  let ps = Workload.Policies.all ~n_patients () in
+  Alcotest.(check (list string)) "policy names"
+    [ "P1"; "P2"; "P3"; "P4"; "P5"; "P6" ]
+    (List.map (fun p -> p.Workload.Policies.name) ps);
+  List.iter (fun p -> ignore (Parser.query p.Workload.Policies.sql)) ps;
+  match Workload.Queries.find ~n_patients "W9" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown query name must fail"
+
+let test_workload_runtimes_ordered () =
+  (* The Table 3 design point: W1 < W2 < W3 < W4. *)
+  let s = Workload.Runner.make ~policy_names:[] () in
+  let time name =
+    Workload.Runner.plain_query_time s ~n:3 (Workload.Runner.query s name)
+  in
+  let t1 = time "W1" and t2 = time "W2" and t3 = time "W3" and t4 = time "W4" in
+  Alcotest.(check bool)
+    (Printf.sprintf "W1 %.2f < W2 %.2f < W3 %.2f < W4 %.2f ms" (t1 *. 1e3)
+       (t2 *. 1e3) (t3 *. 1e3) (t4 *. 1e3))
+    true
+    (t1 < t2 && t2 < t3 && t3 < t4)
+
+let test_mimic_determinism () =
+  let cfg = { Mimic.Generate.small_config with n_patients = 50 } in
+  let dump db = Csv_io.export db ~table:"chartevents" in
+  let a = dump (Mimic.Generate.database ~config:cfg ()) in
+  let b = dump (Mimic.Generate.database ~config:cfg ()) in
+  Alcotest.(check bool) "same seed, same data" true (a = b);
+  let c =
+    dump (Mimic.Generate.database ~config:{ cfg with Mimic.Generate.seed = 7 } ())
+  in
+  Alcotest.(check bool) "different seed, different data" false (a = c)
+
+let test_mimic_shape () =
+  let cfg = Mimic.Generate.small_config in
+  let db = Mimic.Generate.database ~config:cfg () in
+  Alcotest.check value "patient count"
+    (i cfg.Mimic.Generate.n_patients)
+    (Database.scalar db "SELECT COUNT(*) FROM d_patients");
+  (* itemid 211 is a heavy hitter: roughly a third of events *)
+  let total = Database.scalar db "SELECT COUNT(*) FROM chartevents" in
+  let hr =
+    Database.scalar db "SELECT COUNT(*) FROM chartevents WHERE itemid = 211"
+  in
+  (match total, hr with
+  | Value.Int t, Value.Int h ->
+    Alcotest.(check bool)
+      (Printf.sprintf "heavy hitter (%d of %d)" h t)
+      true
+      (float_of_int h /. float_of_int t > 0.2
+      && float_of_int h /. float_of_int t < 0.5)
+  | _ -> Alcotest.fail "counts expected");
+  (* uid 1 in group X, uid 0 absent *)
+  Alcotest.check value "uid 1 in X" (i 1)
+    (Database.scalar db
+       "SELECT COUNT(*) FROM user_groups WHERE uid = 1 AND gid = 'X'");
+  Alcotest.check value "uid 0 ungrouped" (i 0)
+    (Database.scalar db "SELECT COUNT(*) FROM user_groups WHERE uid = 0")
+
+let suite =
+  [
+    tc "vec basics" test_vec_basics;
+    tc "vec of_list/to_array" test_vec_of_list;
+    tc "value cross-numeric equality" test_value_equal_cross_numeric;
+    tc "value to_sql round-trip" test_value_to_sql_roundtrip;
+    tc "ty parsing" test_ty_of_string;
+    tc "lineage sets" test_lineage;
+    tc "stats arithmetic" test_stats_arithmetic;
+    tc "workload definitions" test_workload_definitions;
+    tc "workload runtimes ordered" test_workload_runtimes_ordered;
+    tc "mimic determinism" test_mimic_determinism;
+    tc "mimic shape" test_mimic_shape;
+  ]

@@ -1,0 +1,72 @@
+open Relational
+
+let toks src = Array.to_list (Array.map fst (Lexer.tokenize src))
+
+let token : Token.t Alcotest.testable =
+  Alcotest.testable (fun ppf t -> Format.pp_print_string ppf (Token.to_string t)) ( = )
+
+let check = Alcotest.check (Alcotest.list token)
+
+let test_idents_and_keywords () =
+  check "mixed case idents"
+    [ Ident "SELECT"; Ident "foo"; Ident "_bar9"; Eof ]
+    (toks "SELECT foo _bar9")
+
+let test_numbers () =
+  check "ints and floats"
+    [ Int_lit 42; Float_lit 3.5; Float_lit 1e3; Int_lit 0; Eof ]
+    (toks "42 3.5 1e3 0")
+
+let test_number_then_dot () =
+  (* "1." must not swallow the dot when not followed by a digit: needed for
+     ranges like "a.b" after numbers in practice this is "1 . x". *)
+  check "int dot ident" [ Int_lit 1; Dot; Ident "x"; Eof ] (toks "1 . x")
+
+let test_strings () =
+  check "simple string" [ Str_lit "hello"; Eof ] (toks "'hello'");
+  check "escaped quote" [ Str_lit "don't" ; Eof ] (toks "'don''t'");
+  check "empty string" [ Str_lit ""; Eof ] (toks "''")
+
+let test_quoted_ident () =
+  check "quoted identifier" [ Quoted_ident "weird name"; Eof ] (toks "\"weird name\"")
+
+let test_operators () =
+  check "all operators"
+    [ Eq; Neq; Neq; Lt; Le; Gt; Ge; Plus; Minus; Star; Slash; Percent; Concat; Eof ]
+    (toks "= != <> < <= > >= + - * / % ||")
+
+let test_punctuation () =
+  check "punct"
+    [ Lparen; Rparen; Comma; Dot; Semicolon; Eof ]
+    (toks "( ) , . ;")
+
+let test_line_comment () =
+  check "line comment" [ Ident "a"; Ident "b"; Eof ] (toks "a -- comment\nb")
+
+let test_block_comment () =
+  check "block comment" [ Ident "a"; Ident "b"; Eof ] (toks "a /* x\ny */ b")
+
+let test_unterminated_string () =
+  Alcotest.check_raises "unterminated"
+    (Errors.Sql_error (Errors.Parse_error, "line 1, col 4: unterminated string literal"))
+    (fun () -> ignore (toks "'ab"))
+
+let test_adjacent_tokens () =
+  check "no whitespace"
+    [ Ident "a"; Dot; Ident "b"; Eq; Int_lit 1; Eof ]
+    (toks "a.b=1")
+
+let suite =
+  [
+    Test_support.tc "idents and keywords" test_idents_and_keywords;
+    Test_support.tc "numbers" test_numbers;
+    Test_support.tc "number then dot" test_number_then_dot;
+    Test_support.tc "strings" test_strings;
+    Test_support.tc "quoted ident" test_quoted_ident;
+    Test_support.tc "operators" test_operators;
+    Test_support.tc "punctuation" test_punctuation;
+    Test_support.tc "line comment" test_line_comment;
+    Test_support.tc "block comment" test_block_comment;
+    Test_support.tc "unterminated string" test_unterminated_string;
+    Test_support.tc "adjacent tokens" test_adjacent_tokens;
+  ]

@@ -1,0 +1,196 @@
+open Relational
+
+let parse_q = Parser.query
+let parse_e = Parser.expr
+
+let expr_t : Ast.expr Alcotest.testable =
+  Alcotest.testable (fun ppf e -> Format.pp_print_string ppf (Sql_print.expr e)) ( = )
+
+let check_expr msg expected src = Alcotest.check expr_t msg expected (parse_e src)
+
+let test_precedence () =
+  check_expr "mul binds tighter than add"
+    Ast.(Binop (Add, Lit (Value.Int 1), Binop (Mul, Lit (Value.Int 2), Lit (Value.Int 3))))
+    "1 + 2 * 3";
+  check_expr "and binds tighter than or"
+    Ast.(
+      Binop
+        ( Or,
+          Binop (And, Lit (Value.Bool true), Lit (Value.Bool false)),
+          Lit (Value.Bool true) ))
+    "true AND false OR true";
+  check_expr "comparison over arithmetic"
+    Ast.(
+      Binop
+        ( Lt,
+          Binop (Add, Col (None, "a"), Lit (Value.Int 1)),
+          Col (None, "b") ))
+    "a + 1 < b"
+
+let test_unary_minus () =
+  check_expr "negative literal folds" (Ast.Lit (Value.Int (-5))) "-5";
+  check_expr "negation of column" Ast.(Unop (Neg, Col (None, "x"))) "-x"
+
+let test_qualified_columns () =
+  check_expr "qualified" (Ast.Col (Some "t", "x")) "t.x";
+  check_expr "unqualified" (Ast.Col (None, "x")) "x"
+
+let test_agg_calls () =
+  check_expr "count star" Ast.(Agg_call (Count_star, false, None)) "COUNT(*)";
+  check_expr "count distinct"
+    Ast.(Agg_call (Count, true, Some (Col (Some "u", "uid"))))
+    "count(DISTINCT u.uid)";
+  check_expr "sum" Ast.(Agg_call (Sum, false, Some (Col (None, "x")))) "SUM(x)"
+
+let test_select_basics () =
+  match parse_q "SELECT a, b AS bee FROM t WHERE a = 1" with
+  | Ast.Select s ->
+    Alcotest.(check int) "two items" 2 (List.length s.items);
+    Alcotest.(check bool) "has where" true (s.where <> None);
+    Alcotest.(check int) "one from" 1 (List.length s.from)
+  | _ -> Alcotest.fail "expected select"
+
+let test_distinct_on () =
+  match parse_q "SELECT DISTINCT ON (r.ts), r.* FROM r" with
+  | Ast.Select { distinct = Ast.Distinct_on [ Ast.Col (Some "r", "ts") ]; items; _ } ->
+    Alcotest.(check bool) "table star" true (items = [ Ast.Table_star "r" ])
+  | _ -> Alcotest.fail "expected DISTINCT ON"
+
+let test_group_having () =
+  match
+    parse_q
+      "SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 1 ORDER BY dept DESC LIMIT 3"
+  with
+  | Ast.Select s ->
+    Alcotest.(check int) "group by" 1 (List.length s.group_by);
+    Alcotest.(check bool) "having" true (s.having <> None);
+    Alcotest.(check int) "order by" 1 (List.length s.order_by);
+    Alcotest.(check (option int)) "limit" (Some 3) s.limit
+  | _ -> Alcotest.fail "expected select"
+
+let test_join_desugar () =
+  (* INNER JOIN becomes comma join + conjunct. *)
+  match parse_q "SELECT * FROM a JOIN b ON a.x = b.x WHERE a.y > 1" with
+  | Ast.Select s ->
+    Alcotest.(check int) "two from items" 2 (List.length s.from);
+    Alcotest.(check int) "two conjuncts" 2 (List.length (Ast.conjuncts_opt s.where))
+  | _ -> Alcotest.fail "expected select"
+
+let test_union () =
+  match parse_q "SELECT a FROM t UNION SELECT b FROM u UNION ALL SELECT c FROM v" with
+  | Ast.Union { all = false; right = Ast.Union { all = true; _ }; _ } -> ()
+  | _ -> Alcotest.fail "expected right-nested unions"
+
+let test_subquery_in_from () =
+  match parse_q "SELECT s.x FROM (SELECT a AS x FROM t) s WHERE s.x = 2" with
+  | Ast.Select { from = [ Ast.From_subquery { alias = "s"; _ } ]; _ } -> ()
+  | _ -> Alcotest.fail "expected subquery"
+
+let test_statements () =
+  (match Parser.stmt "CREATE TABLE t (a INT, b TEXT, c FLOAT, d BOOL)" with
+  | Ast.Create_table { table = "t"; columns } ->
+    Alcotest.(check int) "4 cols" 4 (List.length columns)
+  | _ -> Alcotest.fail "create");
+  (match Parser.stmt "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')" with
+  | Ast.Insert { columns = Some [ "a"; "b" ]; rows; _ } ->
+    Alcotest.(check int) "2 rows" 2 (List.length rows)
+  | _ -> Alcotest.fail "insert");
+  (match Parser.stmt "DELETE FROM t WHERE a = 1" with
+  | Ast.Delete { where = Some _; _ } -> ()
+  | _ -> Alcotest.fail "delete");
+  (match Parser.stmt "UPDATE t SET a = 2 WHERE b = 'x'" with
+  | Ast.Update { sets = [ ("a", _) ]; _ } -> ()
+  | _ -> Alcotest.fail "update");
+  match Parser.stmt "DROP TABLE IF EXISTS t" with
+  | Ast.Drop_table { if_exists = true; _ } -> ()
+  | _ -> Alcotest.fail "drop"
+
+let test_script () =
+  let stmts = Parser.script "CREATE TABLE t (a INT); INSERT INTO t VALUES (1);" in
+  Alcotest.(check int) "two statements" 2 (List.length stmts)
+
+let test_paper_policy_p5b () =
+  (* The exact concrete policy from Example 3.1 parses. *)
+  let sql =
+    "SELECT DISTINCT 'P5b violated' AS errorMessage FROM Provenance p \
+     WHERE p.irid = 'patients' GROUP BY p.ts, p.otid HAVING COUNT(distinct p.itid) < 10"
+  in
+  match parse_q sql with
+  | Ast.Select { group_by = [ _; _ ]; having = Some _; _ } -> ()
+  | _ -> Alcotest.fail "P5b did not parse into the expected shape"
+
+let test_paper_policy_p2b () =
+  let sql =
+    "SELECT DISTINCT 'P2b violated' AS errorMessage \
+     FROM Users u, Schemas s, Groups g, Clock c \
+     WHERE u.ts = s.ts AND s.irid = 'patients' AND u.uid = g.uid \
+     AND g.gid = 'Students' AND u.ts > c.ts - 1209600 \
+     HAVING COUNT(distinct u.uid) > 10"
+  in
+  match parse_q sql with
+  | Ast.Select { from; group_by = []; having = Some _; _ } ->
+    Alcotest.(check int) "4 relations" 4 (List.length from)
+  | _ -> Alcotest.fail "P2b did not parse"
+
+let test_errors () =
+  let fails src =
+    match Parser.stmt src with
+    | exception Errors.Sql_error (Errors.Parse_error, _) -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" src
+  in
+  fails "SELECT";
+  fails "SELECT FROM t";
+  fails "SELECT * FROM";
+  fails "SELECT * FROM t WHERE";
+  fails "SELECT * FROM (SELECT a FROM t)";
+  (* missing alias *)
+  fails "FOO BAR";
+  fails "SELECT unknown_fn(x) FROM t";
+  fails "SELECT * FROM t;;garbage"
+
+(* Round-trip: print ∘ parse = id on a corpus of queries. *)
+let test_roundtrip_corpus () =
+  let corpus =
+    [
+      "SELECT * FROM t";
+      "SELECT DISTINCT a, t.b FROM t WHERE a = 1 AND b != 'x'";
+      "SELECT DISTINCT ON (r.ts), r.* FROM r, s WHERE r.ts = s.ts";
+      "SELECT a + 1 * 2 AS y FROM t ORDER BY y DESC LIMIT 10";
+      "SELECT COUNT(DISTINCT u.uid) FROM users u GROUP BY u.gid HAVING COUNT(*) > 3";
+      "SELECT x FROM (SELECT y AS x FROM t) q";
+      "(SELECT a FROM t) UNION (SELECT b FROM u)";
+      "SELECT a - 1 - 2, a - (1 - 2) FROM t";
+      "SELECT NOT a OR b AND c FROM t";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let q1 = parse_q src in
+      let printed = Sql_print.query q1 in
+      let q2 =
+        try parse_q printed
+        with e -> Alcotest.failf "re-parse of %S failed: %s" printed (Printexc.to_string e)
+      in
+      if not (Ast.equal_query q1 q2) then
+        Alcotest.failf "round-trip mismatch: %S -> %S" src printed)
+    corpus
+
+let suite =
+  [
+    Test_support.tc "precedence" test_precedence;
+    Test_support.tc "unary minus" test_unary_minus;
+    Test_support.tc "qualified columns" test_qualified_columns;
+    Test_support.tc "aggregate calls" test_agg_calls;
+    Test_support.tc "select basics" test_select_basics;
+    Test_support.tc "distinct on" test_distinct_on;
+    Test_support.tc "group/having/order/limit" test_group_having;
+    Test_support.tc "join desugar" test_join_desugar;
+    Test_support.tc "union nesting" test_union;
+    Test_support.tc "subquery in from" test_subquery_in_from;
+    Test_support.tc "statements" test_statements;
+    Test_support.tc "script" test_script;
+    Test_support.tc "paper policy P5b" test_paper_policy_p5b;
+    Test_support.tc "paper policy P2b" test_paper_policy_p2b;
+    Test_support.tc "parse errors" test_errors;
+    Test_support.tc "print/parse round-trip" test_roundtrip_corpus;
+  ]

@@ -1,0 +1,139 @@
+open Relational
+open Datalawyer
+open Test_support
+
+let setup () =
+  let db = sample_db () in
+  let e = Engine.create db in
+  let is_log rel = Catalog.is_log (Database.catalog db) rel in
+  (db, e, is_log)
+
+let p2b_like =
+  (* Example 4.5's P2b shape, over the sample db's dept table as "Groups" *)
+  "SELECT DISTINCT 'v' FROM users u, schema s, dept g \
+   WHERE u.ts = s.ts AND s.irid = 'emp' AND g.dname = 'eng' \
+   HAVING COUNT(DISTINCT u.uid) > 10"
+
+let test_partial_shapes () =
+  let _, e, is_log = setup () in
+  let p = Engine.add_policy e ~name:"p2b" p2b_like in
+  (* S = {} : both log relations removed -> P2d shape *)
+  let p2d = Partial.of_query ~is_log ~available:[] p.Policy.query in
+  (match p2d with
+  | Ast.Select s ->
+    Alcotest.(check int) "only dept remains" 1 (List.length s.Ast.from);
+    Alcotest.(check bool) "having dropped" true (s.Ast.having = None)
+  | _ -> Alcotest.fail "select expected");
+  (* S = {users} : P2c shape, having restored *)
+  let p2c = Partial.of_query ~is_log ~available:[ "users" ] p.Policy.query in
+  (match p2c with
+  | Ast.Select s ->
+    Alcotest.(check int) "users + dept" 2 (List.length s.Ast.from);
+    Alcotest.(check bool) "having kept (mentions only users)" true
+      (s.Ast.having <> None);
+    (* the u.ts = s.ts conjunct mentioning schema must be gone *)
+    let sql = Sql_print.query p2c in
+    Alcotest.(check bool) "schema gone" false
+      (Test_policy.contains_substring sql "schema")
+  | _ -> Alcotest.fail "select expected");
+  (* S = all : identity *)
+  let full =
+    Partial.of_query ~is_log ~available:[ "users"; "schema" ] p.Policy.query
+  in
+  Alcotest.(check bool) "full availability is identity" true
+    (Ast.equal_query full p.Policy.query)
+
+(* Lemma 4.4: π ⇒ πS on randomized instances — whenever the full policy
+   returns rows, so does every partial policy. *)
+let test_partial_implication_randomized () =
+  let rng = Mimic.Rng.create ~seed:11 in
+  for _trial = 1 to 30 do
+    let db, e, is_log = setup () in
+    let threshold = Mimic.Rng.int rng 3 in
+    let p =
+      Engine.add_policy e ~name:"rnd"
+        (Printf.sprintf
+           "SELECT DISTINCT 'v' FROM users u, schema s WHERE u.ts = s.ts AND \
+            s.irid = 'emp' HAVING COUNT(DISTINCT u.uid) > %d"
+           threshold)
+    in
+    let users = Database.table db "users" in
+    let sch = Database.table db "schema" in
+    for ts = 1 to 8 do
+      if Mimic.Rng.bool rng then
+        ignore (Table.insert users [| i ts; i (Mimic.Rng.int rng 4) |]);
+      if Mimic.Rng.bool rng then
+        ignore
+          (Table.insert sch
+             [|
+               i ts;
+               s "c";
+               s (if Mimic.Rng.bool rng then "emp" else "dept");
+               s "c";
+               b false;
+             |])
+    done;
+    let holds q = not (Executor.is_empty (Database.catalog db) q) in
+    let full = holds p.Policy.query in
+    List.iter
+      (fun available ->
+        let pq = Partial.of_query ~is_log ~available p.Policy.query in
+        if full && not (holds pq) then
+          Alcotest.failf "partial policy (S=%s) refuted a violated policy"
+            (String.concat "," available))
+      [ []; [ "users" ]; [ "schema" ] ]
+  done
+
+(* Interleaved evaluation avoids generating expensive logs when a cheap
+   partial policy already proves compliance — the uid=0 fast path of §5.4. *)
+let test_interleaved_skips_provenance () =
+  let mimic = Mimic.Generate.small_config in
+  let s =
+    Workload.Runner.make ~mimic
+      ~config:{ Engine.default_config with Engine.unification = false }
+      ~policy_names:[ "P5" ] ()
+  in
+  let w4 = Workload.Runner.query s "W4" in
+  (* uid 0: P5 applies to uid 1 only; the users partial policy prunes it *)
+  (match Engine.submit s.Workload.Runner.engine ~uid:0 w4.Workload.Queries.sql with
+  | Engine.Accepted (_, st) ->
+    Alcotest.(check int) "no provenance rows logged for uid 0" 0
+      (Engine.log_size s.Workload.Runner.engine "provenance");
+    Alcotest.(check bool) "few policy calls" true (st.Stats.policy_calls <= 2)
+  | Engine.Rejected _ -> Alcotest.fail "uid 0 must pass");
+  (* uid 1 on a small query: provenance must be generated and kept *)
+  let w2 = Workload.Runner.query s "W2" in
+  (match Engine.submit s.Workload.Runner.engine ~uid:1 w2.Workload.Queries.sql with
+  | Engine.Accepted _ ->
+    Alcotest.(check bool) "provenance logged for uid 1" true
+      (Engine.log_size s.Workload.Runner.engine "provenance" > 0)
+  | Engine.Rejected _ -> Alcotest.fail "uid 1 under threshold must pass");
+  (* uid 1 on W4 (touches ~60% of patients): genuinely violates P5 *)
+  match Engine.submit s.Workload.Runner.engine ~uid:1 w4.Workload.Queries.sql with
+  | Engine.Rejected _ -> ()
+  | Engine.Accepted _ -> Alcotest.fail "uid 1 over threshold must be rejected"
+
+let test_interleaved_policy_calls_grow_with_logs () =
+  let db = sample_db () in
+  let e =
+    Engine.create
+      ~config:{ Engine.default_config with Engine.unification = false }
+      db
+  in
+  ignore
+    (Engine.add_policy e ~name:"deep"
+       "SELECT DISTINCT 'v' FROM users u, schema s, provenance p \
+        WHERE u.ts = s.ts AND s.ts = p.ts AND u.uid = 77 AND p.irid = 'emp'");
+  match Engine.submit e ~uid:3 "SELECT name FROM emp WHERE id = 1" with
+  | Engine.Accepted (_, st) ->
+    (* pruned at the first (users) partial: exactly one policy call *)
+    Alcotest.(check int) "pruned after users" 1 st.Stats.policy_calls
+  | Engine.Rejected _ -> Alcotest.fail "must pass"
+
+let suite =
+  [
+    tc "partial policy shapes (Example 4.5)" test_partial_shapes;
+    Alcotest.test_case "Lemma 4.4 randomized" `Slow test_partial_implication_randomized;
+    tc "interleaved skips provenance (uid 0)" test_interleaved_skips_provenance;
+    tc "interleaved prunes early" test_interleaved_policy_calls_grow_with_logs;
+  ]

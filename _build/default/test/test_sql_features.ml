@@ -1,0 +1,167 @@
+(* IN / BETWEEN / LIKE / CASE / IS NULL coverage, including their use
+   inside policies. *)
+
+open Relational
+open Datalawyer
+open Test_support
+
+let q db sql = Database.rows db sql
+
+let test_in_list () =
+  let db = sample_db () in
+  check_rows "IN list"
+    [ [ s "ada" ]; [ s "cyd" ] ]
+    (q db "SELECT name FROM emp WHERE name IN ('ada', 'cyd', 'zed')");
+  check_rows "NOT IN"
+    [ [ s "bob" ]; [ s "dee" ]; [ s "eli" ] ]
+    (q db "SELECT name FROM emp WHERE name NOT IN ('ada', 'cyd')");
+  check_rows "IN over expressions"
+    [ [ i 1 ]; [ i 3 ] ]
+    (q db "SELECT id FROM emp WHERE id IN (1, 1 + 2)")
+
+let test_between () =
+  let db = sample_db () in
+  check_rows "BETWEEN is inclusive"
+    [ [ s "bob" ]; [ s "dee" ] ]
+    (q db "SELECT name FROM emp WHERE salary BETWEEN 90 AND 100");
+  check_rows "NOT BETWEEN"
+    [ [ s "ada" ]; [ s "cyd" ]; [ s "eli" ] ]
+    (q db "SELECT name FROM emp WHERE salary NOT BETWEEN 90 AND 100")
+
+let test_like () =
+  let db = sample_db () in
+  check_rows "prefix wildcard" [ [ s "ada" ] ] (q db "SELECT name FROM emp WHERE name LIKE 'a%'");
+  check_rows "suffix wildcard"
+    [ [ s "ada" ] ]
+    (q db "SELECT name FROM emp WHERE name LIKE '%da'");
+  check_rows "single char"
+    [ [ s "bob" ] ]
+    (q db "SELECT name FROM emp WHERE name LIKE 'b_b'");
+  check_rows "infix"
+    [ [ s "ada" ]; [ s "cyd" ]; [ s "dee" ] ]
+    (q db "SELECT name FROM emp WHERE name LIKE '%d%'");
+  check_rows "NOT LIKE"
+    [ [ s "bob" ]; [ s "eli" ] ]
+    (q db "SELECT name FROM emp WHERE name NOT LIKE '%d%'");
+  check_rows "no wildcard = equality"
+    [ [ s "eli" ] ]
+    (q db "SELECT name FROM emp WHERE name LIKE 'eli'");
+  check_rows "percent matches empty"
+    [ [ s "eli" ] ]
+    (q db "SELECT name FROM emp WHERE name LIKE 'eli%'")
+
+let test_case () =
+  let db = sample_db () in
+  check_rows "searched case"
+    [
+      [ s "ada"; s "high" ]; [ s "bob"; s "mid" ]; [ s "cyd"; s "low" ];
+      [ s "dee"; s "low" ]; [ s "eli"; s "high" ];
+    ]
+    (q db
+       "SELECT name, CASE WHEN salary > 110 THEN 'high' WHEN salary > 95 THEN \
+        'mid' ELSE 'low' END FROM emp");
+  check_rows "case without else yields NULL"
+    [ [ null ] ]
+    (q db "SELECT CASE WHEN 1 = 2 THEN 'x' END");
+  check_rows "case in aggregate argument"
+    [ [ i 2 ] ]
+    (q db "SELECT SUM(CASE WHEN dept = 'eng' THEN 1 ELSE 0 END) FROM emp")
+
+let test_is_null () =
+  let db = db_of_script "CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (NULL)" in
+  check_rows "is null" [ [ null ] ] (q db "SELECT a FROM t WHERE a IS NULL");
+  check_rows "is not null" [ [ i 1 ] ] (q db "SELECT a FROM t WHERE a IS NOT NULL")
+
+let test_roundtrip_new_features () =
+  List.iter
+    (fun src ->
+      let q1 = Parser.query src in
+      let printed = Sql_print.query q1 in
+      let q2 = Parser.query printed in
+      if not (Ast.equal_query q1 q2) then
+        Alcotest.failf "round-trip mismatch: %S -> %S" src printed)
+    [
+      "SELECT a FROM t WHERE a LIKE 'x%'";
+      "SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t";
+      "SELECT a FROM t WHERE b NOT LIKE '%y'";
+    ]
+
+(* A policy using LIKE: restrict access to any relation matching a naming
+   convention — the kind of catch-all clause real terms of use contain. *)
+let test_policy_with_like () =
+  let db =
+    db_of_script
+      {|
+      CREATE TABLE licensed_maps (x INT); CREATE TABLE licensed_ratings (x INT);
+      CREATE TABLE public_stuff (x INT);
+      INSERT INTO licensed_maps VALUES (1); INSERT INTO licensed_ratings VALUES (2);
+      INSERT INTO public_stuff VALUES (3)
+      |}
+  in
+  let e = Engine.create db in
+  ignore
+    (Engine.add_policy e ~name:"licensed_only_standalone"
+       "SELECT DISTINCT 'licensed relations may not be combined' FROM schema \
+        s1, schema s2 WHERE s1.ts = s2.ts AND s1.irid LIKE 'licensed%' AND \
+        s2.irid NOT LIKE 'licensed%'");
+  let ok = function Engine.Accepted _ -> true | Engine.Rejected _ -> false in
+  Alcotest.(check bool) "licensed standalone fine" true
+    (ok (Engine.submit e ~uid:1 "SELECT x FROM licensed_maps"));
+  Alcotest.(check bool) "two licensed together fine" true
+    (ok
+       (Engine.submit e ~uid:1
+          "SELECT m.x FROM licensed_maps m, licensed_ratings r WHERE m.x < r.x"));
+  Alcotest.(check bool) "licensed + public rejected" false
+    (ok
+       (Engine.submit e ~uid:1
+          "SELECT m.x FROM licensed_maps m, public_stuff p WHERE m.x < p.x"))
+
+(* A policy using IN: a blocklist of relations per user. *)
+let test_policy_with_in () =
+  let db = sample_db () in
+  let e = Engine.create db in
+  ignore
+    (Engine.add_policy e ~name:"blocklist"
+       "SELECT DISTINCT 'restricted relation for this user' FROM schema s, \
+        users u WHERE s.ts = u.ts AND u.uid IN (3, 4) AND s.irid IN ('emp')");
+  let ok = function Engine.Accepted _ -> true | Engine.Rejected _ -> false in
+  Alcotest.(check bool) "uid 2 free" true
+    (ok (Engine.submit e ~uid:2 "SELECT name FROM emp"));
+  Alcotest.(check bool) "uid 3 blocked" false
+    (ok (Engine.submit e ~uid:3 "SELECT name FROM emp"));
+  Alcotest.(check bool) "uid 4 blocked from emp only" true
+    (ok (Engine.submit e ~uid:4 "SELECT dname FROM dept"))
+
+let test_scalar_functions () =
+  let db = sample_db () in
+  check_rows "abs" [ [ i 5; f 2.5 ] ] (q db "SELECT ABS(-5), ABS(-2.5)");
+  check_rows "length/lower/upper"
+    [ [ i 3; s "ada"; s "ADA" ] ]
+    (q db "SELECT LENGTH(name), LOWER(UPPER(name)), UPPER(name) FROM emp WHERE id = 1");
+  check_rows "coalesce picks first non-null"
+    [ [ i 7 ] ]
+    (q db "SELECT COALESCE(NULL, NULL, 7, 9)");
+  check_rows "coalesce all null" [ [ null ] ] (q db "SELECT COALESCE(NULL, NULL)");
+  check_rows "round" [ [ i 3; i 2 ] ] (q db "SELECT ROUND(2.6), ROUND(2.4)");
+  check_rows "functions in predicates"
+    [ [ s "ada" ]; [ s "bob" ]; [ s "cyd" ]; [ s "dee" ]; [ s "eli" ] ]
+    (q db "SELECT name FROM emp WHERE LENGTH(name) = 3");
+  (match q db "SELECT ABS(1, 2)" with
+  | exception Errors.Sql_error (Errors.Bind_error, _) -> ()
+  | _ -> Alcotest.fail "wrong arity must fail");
+  match q db "SELECT LENGTH(5)" with
+  | exception Errors.Sql_error (Errors.Type_error, _) -> ()
+  | _ -> Alcotest.fail "wrong type must fail"
+
+let suite =
+  [
+    tc "scalar functions" test_scalar_functions;
+    tc "IN lists" test_in_list;
+    tc "BETWEEN" test_between;
+    tc "LIKE" test_like;
+    tc "CASE" test_case;
+    tc "IS NULL" test_is_null;
+    tc "round-trip of new features" test_roundtrip_new_features;
+    tc "policy with LIKE" test_policy_with_like;
+    tc "policy with IN" test_policy_with_in;
+  ]

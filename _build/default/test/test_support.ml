@@ -1,0 +1,44 @@
+(** Shared helpers for the test suites. *)
+
+open Relational
+
+let value : Value.t Alcotest.testable =
+  Alcotest.testable Value.pp (fun a b -> Value.equal a b)
+
+let row = Alcotest.list value
+let rows = Alcotest.list row
+
+(* Sort result rows for order-insensitive comparison. *)
+let sorted (rs : Value.t list list) =
+  List.sort (fun a b -> List.compare Value.compare a b) rs
+
+let check_rows msg expected actual =
+  Alcotest.check rows msg (sorted expected) (sorted actual)
+
+let check_rows_ordered msg expected actual = Alcotest.check rows msg expected actual
+
+(* Build a database from a SQL script. *)
+let db_of_script script =
+  let db = Database.create () in
+  ignore (Database.exec_script db script);
+  db
+
+let i n : Value.t = Value.Int n
+let f x : Value.t = Value.Float x
+let s x : Value.t = Value.Str x
+let b x : Value.t = Value.Bool x
+let null : Value.t = Value.Null
+
+let tc name fn = Alcotest.test_case name `Quick fn
+
+(* A small example database shared by several suites. *)
+let sample_db () =
+  db_of_script
+    {|
+    CREATE TABLE emp (id INT, name TEXT, dept TEXT, salary INT);
+    CREATE TABLE dept (dname TEXT, budget INT);
+    INSERT INTO emp VALUES
+      (1, 'ada', 'eng', 120), (2, 'bob', 'eng', 100),
+      (3, 'cyd', 'ops', 80), (4, 'dee', 'ops', 90), (5, 'eli', 'mgmt', 150);
+    INSERT INTO dept VALUES ('eng', 1000), ('ops', 500), ('mgmt', 800)
+    |}

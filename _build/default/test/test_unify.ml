@@ -1,0 +1,106 @@
+open Relational
+open Datalawyer
+open Test_support
+
+let setup () =
+  let db = sample_db () in
+  let e = Engine.create db in
+  let is_log rel = Catalog.is_log (Database.catalog db) rel in
+  (db, e, is_log)
+
+let family_member e k =
+  Engine.add_policy e
+    ~name:(Printf.sprintf "fam%d" k)
+    (Printf.sprintf
+       "SELECT DISTINCT 'family %d violated' FROM users u, emp g \
+        WHERE u.uid = g.id AND g.dept = 'dept%d' HAVING COUNT(DISTINCT u.uid) > 2"
+       k k)
+
+let test_unifies_family () =
+  let db, e, is_log = setup () in
+  let ps = List.init 5 (family_member e) in
+  let o = Unify.run (Database.catalog db) ~is_log ps in
+  Alcotest.(check int) "one unified policy" 1 (List.length o.Unify.policies);
+  Alcotest.(check int) "one group" 1 (List.length o.Unify.groups);
+  let g = List.hd o.Unify.groups in
+  Alcotest.(check int) "five members" 5 (List.length g.Unify.members);
+  (* constants table materialized with the five distinct constants *)
+  let consts = Database.rows db (Printf.sprintf "SELECT const FROM %s" g.Unify.constants_table) in
+  Alcotest.(check int) "five constants" 5 (List.length consts);
+  (* unified query joins the constants table and groups by it *)
+  let sql = Sql_print.query g.Unify.policy.Policy.query in
+  Alcotest.(check bool) "joins constants table" true
+    (Test_policy.contains_substring sql g.Unify.constants_table);
+  Alcotest.(check bool) "groups by the constant" true
+    (Test_policy.contains_substring sql "GROUP BY")
+
+let test_does_not_unify_different_shapes () =
+  let db, e, is_log = setup () in
+  let p1 = family_member e 1 in
+  let p2 =
+    Engine.add_policy e ~name:"other"
+      "SELECT DISTINCT 'different shape' FROM users u WHERE u.uid = 9"
+  in
+  let o = Unify.run (Database.catalog db) ~is_log [ p1; p2 ] in
+  Alcotest.(check int) "no unification" 2 (List.length o.Unify.policies);
+  Alcotest.(check int) "no groups" 0 (List.length o.Unify.groups)
+
+let test_does_not_unify_two_differing_literals () =
+  let db, e, is_log = setup () in
+  let mk k thr =
+    Engine.add_policy e
+      ~name:(Printf.sprintf "two%d" k)
+      (Printf.sprintf
+         "SELECT DISTINCT 'v' FROM users u, emp g WHERE u.uid = g.id AND \
+          g.dept = 'd%d' HAVING COUNT(DISTINCT u.uid) > %d"
+         k thr)
+  in
+  let p1 = mk 1 2 and p2 = mk 2 5 in
+  let o = Unify.run (Database.catalog db) ~is_log [ p1; p2 ] in
+  Alcotest.(check int) "left alone" 2 (List.length o.Unify.policies)
+
+(* Semantic equivalence: the unified policy fires iff some member fires. *)
+let test_unified_equivalence_randomized () =
+  let rng = Mimic.Rng.create ~seed:23 in
+  for _trial = 1 to 20 do
+    let db, e, is_log = setup () in
+    (* members keyed on dept name in the sample db *)
+    let mk dept =
+      Engine.add_policy e ~name:("u_" ^ dept)
+        (Printf.sprintf
+           "SELECT DISTINCT 'dept %s overused' FROM users u, emp g \
+            WHERE u.uid = g.id AND g.dept = '%s' HAVING COUNT(DISTINCT u.uid) > 1"
+           dept dept)
+    in
+    let members = List.map mk [ "eng"; "ops"; "mgmt" ] in
+    let o = Unify.run (Database.catalog db) ~is_log members in
+    Alcotest.(check int) "unified" 1 (List.length o.Unify.policies);
+    let unified = List.hd o.Unify.policies in
+    (* random users log: uids matching emp ids 1..5 *)
+    let users = Database.table db "users" in
+    for ts = 1 to 6 do
+      if Mimic.Rng.bool rng then
+        ignore (Table.insert users [| i ts; i (1 + Mimic.Rng.int rng 5) |])
+    done;
+    let fires q = not (Executor.is_empty (Database.catalog db) q) in
+    let member_fires = List.exists (fun p -> fires p.Policy.query) members in
+    Alcotest.(check bool) "unified ≡ disjunction of members" member_fires
+      (fires unified.Policy.query)
+  done
+
+let test_engine_uses_unification () =
+  let _, e, _ = setup () in
+  let _ = List.init 4 (family_member e) in
+  let pl = Engine.plan e in
+  Alcotest.(check int) "plan collapses family to one" 1 (List.length pl.Engine.active);
+  Alcotest.(check int) "group recorded" 1 (List.length pl.Engine.unified_groups)
+
+let suite =
+  [
+    tc "unifies a parameter family" test_unifies_family;
+    tc "different shapes untouched" test_does_not_unify_different_shapes;
+    tc "two differing literals untouched" test_does_not_unify_two_differing_literals;
+    Alcotest.test_case "unified equivalence (randomized)" `Slow
+      test_unified_equivalence_randomized;
+    tc "engine plan uses unification" test_engine_uses_unification;
+  ]

@@ -1,0 +1,228 @@
+open Relational
+open Datalawyer
+open Test_support
+
+let setup () =
+  let db = sample_db () in
+  let e = Engine.create db in
+  let is_log rel = Catalog.is_log (Database.catalog db) rel in
+  (db, e, is_log)
+
+let witness_sqls w =
+  match w with
+  | Witness.Keep_all -> [ "KEEP_ALL" ]
+  | Witness.Queries qs -> List.map (fun q -> Sql_print.select q) qs
+
+let get rel ws =
+  match List.assoc_opt rel ws with
+  | Some w -> w
+  | None -> Alcotest.failf "no witness entry for %s" rel
+
+let test_window_policy_witness () =
+  let _, e, is_log = setup () in
+  let p =
+    Engine.add_policy e ~name:"w"
+      "SELECT DISTINCT 'x' FROM users u, clock c WHERE u.uid = 1 AND u.ts > c.ts - 10 \
+       HAVING COUNT(DISTINCT u.ts) > 3"
+  in
+  let ws = Witness.for_policy ~is_log ~now:100 p in
+  match get "users" ws with
+  | Witness.Keep_all -> Alcotest.fail "expected a witness query"
+  | Witness.Queries [ q ] ->
+    let sql = Sql_print.select q in
+    (* HAVING present -> Eq. 2 full-query witness, no DISTINCT ON *)
+    Alcotest.(check bool) "projects the target" true
+      (Test_policy.contains_substring sql "u.*");
+    (* clock lower bound frozen at now+1: c.ts < u.ts + 10 -> 101 < u.ts + 10 *)
+    Alcotest.(check bool) "frontier constant" true
+      (Test_policy.contains_substring sql "101");
+    Alcotest.(check bool) "clock relation dropped" false
+      (Test_policy.contains_substring sql "clock")
+  | Witness.Queries qs -> Alcotest.failf "expected one query, got %d" (List.length qs)
+
+let test_window_witness_semantics () =
+  (* Execute the generated witness and check it retains exactly the
+     in-window, predicate-matching tuples. *)
+  let db, e, is_log = setup () in
+  let p =
+    Engine.add_policy e ~name:"w"
+      "SELECT DISTINCT 'x' FROM users u, clock c WHERE u.uid = 1 AND u.ts > c.ts - 10 \
+       HAVING COUNT(DISTINCT u.ts) > 3"
+  in
+  let users = Database.table db "users" in
+  (* rows at various times and uids *)
+  List.iter
+    (fun (ts, uid) -> ignore (Table.insert users [| i ts; i uid |]))
+    [ (80, 1); (89, 1); (92, 1); (95, 2); (99, 1); (100, 1) ];
+  let ws = Witness.for_policy ~is_log ~now:100 p in
+  match get "users" ws with
+  | Witness.Keep_all -> Alcotest.fail "expected query"
+  | Witness.Queries qs ->
+    let retained = Hashtbl.create 8 in
+    List.iter
+      (fun q ->
+        let r =
+          Executor.run
+            ~opts:{ Executor.lineage = false; track_src = true }
+            (Database.catalog db) (Ast.Select q)
+        in
+        List.iter
+          (fun (row : Executor.row_out) ->
+            List.iter
+              (fun (slot, tid) -> if slot = 0 then Hashtbl.replace retained tid ())
+              row.Executor.src_tids)
+          r.Executor.out_rows)
+      qs;
+    let kept_ts =
+      Table.rows users
+      |> List.filter (fun row -> Hashtbl.mem retained (Row.tid row))
+      |> List.map (fun row -> Row.cell row 0)
+      |> List.sort Value.compare
+    in
+    (* The frozen predicate is 101 < ts + 10, i.e. ts > 91; uid must be 1.
+       So ts 92, 99, 100 are retained; 80, 89 are out of any future
+       window; 95 is uid 2. *)
+    Alcotest.check (Alcotest.list value) "retained exactly the live window"
+      [ i 92; i 99; i 100 ] kept_ts
+
+let test_boolean_policy_distinct_on () =
+  let _, e, is_log = setup () in
+  (* Example 4.1's P1: boolean, self-join -> two DISTINCT ON witnesses *)
+  let p =
+    Engine.add_policy e ~name:"nj"
+      "SELECT DISTINCT 'no joins' FROM schema p1, schema p2 \
+       WHERE p1.ts = p2.ts AND p1.irid = 'emp' AND p2.irid != 'emp'"
+  in
+  let ws = Witness.for_policy ~is_log ~now:5 p in
+  match get "schema" ws with
+  | Witness.Keep_all -> Alcotest.fail "expected queries"
+  | Witness.Queries qs ->
+    Alcotest.(check int) "one witness per self-join occurrence" 2 (List.length qs);
+    List.iter
+      (fun q ->
+        match q.Ast.distinct with
+        | Ast.Distinct_on _ -> ()
+        | _ -> Alcotest.fail "boolean policy witness must use DISTINCT ON")
+      qs
+
+let test_neighborhood_restriction () =
+  let _, e, is_log = setup () in
+  (* users and schema are ts-joined; provenance is NOT: provenance must not
+     appear in users' witness FROM. *)
+  let p =
+    Engine.add_policy e ~name:"nb"
+      "SELECT DISTINCT 'x' FROM users u, schema s, provenance p \
+       WHERE u.ts = s.ts AND u.uid = 1 AND p.irid = 'emp'"
+  in
+  let ws = Witness.for_policy ~is_log ~now:5 p in
+  (match get "users" ws with
+  | Witness.Queries [ q ] ->
+    let sql = Sql_print.select q in
+    Alcotest.(check bool) "schema in neighborhood" true
+      (Test_policy.contains_substring sql "schema");
+    Alcotest.(check bool) "provenance not in neighborhood" false
+      (Test_policy.contains_substring sql "provenance")
+  | _ -> Alcotest.fail "expected single users witness");
+  match get "provenance" ws with
+  | Witness.Queries [ q ] ->
+    Alcotest.(check int) "provenance witness stands alone" 1 (List.length q.Ast.from)
+  | _ -> Alcotest.fail "expected single provenance witness"
+
+let test_unsupported_clock_keeps_all () =
+  let _, e, is_log = setup () in
+  let p =
+    Engine.add_policy e ~name:"neq"
+      "SELECT DISTINCT 'x' FROM users u, clock c WHERE u.ts != c.ts"
+  in
+  match get "users" (Witness.for_policy ~is_log ~now:5 p) with
+  | Witness.Keep_all -> ()
+  | Witness.Queries _ -> Alcotest.fail "clock != must disable compaction"
+
+let test_ti_rewritten_policy_empty_witness () =
+  let db, e, is_log = setup () in
+  let p =
+    Engine.add_policy e ~name:"ti"
+      "SELECT DISTINCT 'x' FROM users u, schema s WHERE u.ts = s.ts AND u.uid = 1"
+  in
+  let p = Time_independent.apply ~is_log p in
+  (* seed some log content *)
+  let users = Database.table db "users" in
+  ignore (Table.insert users [| i 3; i 1 |]);
+  let ws = Witness.for_policy ~is_log ~now:3 p in
+  match get "users" ws with
+  | Witness.Keep_all -> Alcotest.fail "expected queries"
+  | Witness.Queries qs ->
+    (* Example 4.4: all witnesses of a TI-rewritten policy are empty. *)
+    List.iter
+      (fun q ->
+        Alcotest.(check bool) "witness empty" true
+          (Executor.is_empty (Database.catalog db) (Ast.Select q)))
+      qs
+
+(* Soundness property: evaluating the policy on the compacted log agrees
+   with evaluating it on the full log, for the current time and future
+   times (absolute witness, Def 4.1). Uses randomized logs. *)
+let test_witness_soundness_randomized () =
+  let rng = Mimic.Rng.create ~seed:7 in
+  for _trial = 1 to 25 do
+    let db, e, is_log = setup () in
+    let window = 3 + Mimic.Rng.int rng 8 in
+    let threshold = 1 + Mimic.Rng.int rng 3 in
+    let p =
+      Engine.add_policy e
+        ~name:"rnd"
+        (Printf.sprintf
+           "SELECT DISTINCT 'v' FROM users u, clock c WHERE u.uid = 1 AND u.ts > c.ts - %d \
+            HAVING COUNT(DISTINCT u.ts) > %d"
+           window threshold)
+    in
+    let users = Database.table db "users" in
+    let now = 20 in
+    for ts = 1 to now do
+      if Mimic.Rng.int rng 3 > 0 then
+        ignore (Table.insert users [| i ts; i (Mimic.Rng.int rng 2) |])
+    done;
+    (* compute retained set *)
+    let retained = Hashtbl.create 16 in
+    (match List.assoc_opt "users" (Witness.for_policy ~is_log ~now p) with
+    | Some (Witness.Queries qs) ->
+      Usage_log.set_clock db now;
+      List.iter
+        (fun q ->
+          let r =
+            Executor.run
+              ~opts:{ Executor.lineage = false; track_src = true }
+              (Database.catalog db) (Ast.Select q)
+          in
+          List.iter
+            (fun (row : Executor.row_out) ->
+              List.iter
+                (fun (slot, tid) -> if slot = 0 then Hashtbl.replace retained tid ())
+                row.Executor.src_tids)
+            r.Executor.out_rows)
+        qs
+    | _ -> Alcotest.fail "expected queries");
+    (* Full-log vs compacted-log evaluation from now+1 on: compaction runs
+       after the time-now check, and Lemma 4.3's currenttime+1 frontier
+       only guarantees evaluations from the next timestamp onwards. *)
+    let eval_at t =
+      Usage_log.set_clock db t;
+      Executor.is_empty (Database.catalog db) p.Policy.query
+    in
+    let full = List.init (window + 3) (fun k -> eval_at (now + 1 + k)) in
+    ignore (Table.retain_tids users retained);
+    let compacted = List.init (window + 3) (fun k -> eval_at (now + 1 + k)) in
+    Alcotest.(check (list bool)) "absolute witness preserves evaluation" full compacted
+  done
+
+let suite =
+  [
+    tc "window policy witness shape" test_window_policy_witness;
+    tc "window witness semantics" test_window_witness_semantics;
+    tc "boolean policy DISTINCT ON" test_boolean_policy_distinct_on;
+    tc "neighborhood restriction" test_neighborhood_restriction;
+    tc "unsupported clock keeps all" test_unsupported_clock_keeps_all;
+    tc "TI-rewritten policy has empty witness" test_ti_rewritten_policy_empty_witness;
+    Alcotest.test_case "witness soundness (randomized)" `Slow
+      test_witness_soundness_randomized;
+  ]
