@@ -9,15 +9,56 @@
 open Relational
 open Datalawyer
 
-let make_engine ~noopt ~with_table2 =
+(* --fsync values: always | never | interval:N. *)
+let fsync_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "always" -> Ok Persistence.Store.Always
+  | "never" -> Ok Persistence.Store.Never
+  | s when String.length s > 9 && String.sub s 0 9 = "interval:" -> (
+    match int_of_string_opt (String.sub s 9 (String.length s - 9)) with
+    | Some n when n > 0 -> Ok (Persistence.Store.Interval n)
+    | _ -> Error (`Msg (Printf.sprintf "bad fsync interval in %S" s)))
+  | _ -> Error (`Msg (Printf.sprintf "unknown fsync policy %S (always|never|interval:N)" s))
+
+let make_engine ~noopt ~with_table2 ?persist_dir ?persist_fsync () =
   let mimic = Mimic.Generate.small_config in
   let db = Mimic.Generate.database ~config:mimic () in
   let config = if noopt then Engine.noopt_config else Engine.default_config in
-  let engine = Engine.create ~config db in
+  let engine =
+    try Engine.create ~config ?persist_dir ?persist_fsync db with
+    | Persistence.Recovery.Recovery_error msg ->
+      Printf.eprintf
+        "cannot recover persisted usage log: %s\n\
+         (fix or move the directory aside; refusing to start rather than \
+         silently lose log history)\n"
+        msg;
+      exit 1
+    | Unix.Unix_error (err, _, path) ->
+      Printf.eprintf "cannot open persistence directory %s: %s\n"
+        (match persist_dir with Some d -> d | None -> path)
+        (Unix.error_message err);
+      exit 1
+  in
+  (match Engine.persist_store engine with
+  | Some store ->
+    Printf.printf "persisting usage log to %s (fsync %s, generation %d, %d WAL records)\n"
+      (Persistence.Store.dir store)
+      (Format.asprintf "%a" Persistence.Wal.pp_fsync_policy
+         (Persistence.Store.fsync_policy store))
+      (Persistence.Store.generation store)
+      (Persistence.Store.wal_records store)
+  | None -> ());
+  (* Recovery re-registers persisted policies; only add the missing ones. *)
+  let registered =
+    List.map (fun p -> p.Policy.name) (Engine.policies engine)
+  in
   if with_table2 then
     List.iter
       (fun (p : Workload.Policies.t) ->
-        ignore (Engine.add_policy engine ~name:p.Workload.Policies.name p.Workload.Policies.sql))
+        if not (List.mem p.Workload.Policies.name registered) then
+          ignore
+            (Engine.add_policy engine ~name:p.Workload.Policies.name
+               p.Workload.Policies.sql))
       (Workload.Policies.all ~n_patients:mimic.Mimic.Generate.n_patients ());
   (db, engine)
 
@@ -30,15 +71,19 @@ let repl_help =
   :policy NAME SQL...   register a policy
   :policies             list registered policies
   :drop NAME            remove a policy
-  :log                  show usage-log sizes
+  :log                  show usage-log sizes (and on-disk state)
+  :checkpoint           force a persistence checkpoint
   :tables               list tables
   :load TABLE FILE.csv  import a CSV file (creates the table if needed)
   :export TABLE FILE    export a table to CSV
   :quit                 exit
 anything else is SQL, checked against the policies before running|}
 
-let run_repl noopt no_policies =
-  let db, engine = make_engine ~noopt ~with_table2:(not no_policies) in
+let run_repl noopt no_policies persist_dir persist_fsync =
+  let db, engine =
+    make_engine ~noopt ~with_table2:(not no_policies) ?persist_dir
+      ?persist_fsync ()
+  in
   let uid = ref 1 in
   Printf.printf
     "DataLawyer console — synthetic MIMIC instance%s\ntype :help for commands\n"
@@ -57,10 +102,27 @@ let run_repl noopt no_policies =
            List.iter
              (fun p -> Format.printf "%a@." Policy.pp p)
              (Engine.policies engine)
-         else if line = ":log" then
+         else if line = ":log" then begin
            List.iter
              (fun rel -> Printf.printf "  %-12s %6d rows\n" rel (Engine.log_size engine rel))
-             [ "users"; "schema"; "provenance" ]
+             [ "users"; "schema"; "provenance" ];
+           match Engine.persist_store engine with
+           | Some store ->
+             Printf.printf "  on disk: generation %d, %d WAL records, %d bytes\n"
+               (Persistence.Store.generation store)
+               (Persistence.Store.wal_records store)
+               (Persistence.Store.disk_bytes store)
+           | None -> ()
+         end
+         else if line = ":checkpoint" then begin
+           Engine.persist_checkpoint engine;
+           match Engine.persist_store engine with
+           | Some store ->
+             Printf.printf "checkpointed: generation %d, %d bytes on disk\n"
+               (Persistence.Store.generation store)
+               (Persistence.Store.disk_bytes store)
+           | None -> print_endline "no persistence directory (start with --persist DIR)"
+         end
          else if line = ":tables" then
            List.iter print_endline (Catalog.table_names (Database.catalog db))
          else if String.length line > 6 && String.sub line 0 6 = ":user " then
@@ -106,31 +168,46 @@ let run_repl noopt no_policies =
       loop ()
   in
   (try loop () with Exit -> ());
+  Engine.close engine;
   `Ok ()
 
 (* check ------------------------------------------------------------------ *)
 
-let run_check policy_files query_file uid =
-  let db, engine = make_engine ~noopt:false ~with_table2:false in
+let run_check policy_files query_file uid persist_dir persist_fsync =
+  let db, engine =
+    make_engine ~noopt:false ~with_table2:false ?persist_dir ?persist_fsync ()
+  in
   ignore db;
   List.iteri
     (fun i file ->
       let sql = In_channel.with_open_text file In_channel.input_all in
-      ignore (Engine.add_policy engine ~name:(Printf.sprintf "policy_%d" i) sql))
+      let name = Printf.sprintf "policy_%d" i in
+      (* Recovery may have re-registered this policy from a previous run;
+         keep it unless the file's text changed. *)
+      match
+        List.find_opt (fun p -> p.Policy.name = name) (Engine.policies engine)
+      with
+      | Some p when String.trim p.Policy.source = String.trim sql -> ()
+      | Some _ ->
+        Engine.remove_policy engine name;
+        ignore (Engine.add_policy engine ~name sql)
+      | None -> ignore (Engine.add_policy engine ~name sql))
     policy_files;
   let sql = In_channel.with_open_text query_file In_channel.input_all in
   match Engine.submit engine ~uid sql with
   | Engine.Accepted (result, _) ->
     print_endline (Database.render result);
+    Engine.close engine;
     `Ok ()
   | Engine.Rejected (messages, _) ->
     List.iter (fun m -> Printf.eprintf "REJECTED: %s\n" m) messages;
+    Engine.close engine;
     exit 1
 
 (* demo ------------------------------------------------------------------- *)
 
 let run_demo () =
-  let _, engine = make_engine ~noopt:false ~with_table2:true in
+  let _, engine = make_engine ~noopt:false ~with_table2:true () in
   let script =
     [
       (0, "SELECT COUNT(*) FROM d_patients");
@@ -161,10 +238,34 @@ let noopt =
 let no_policies =
   Arg.(value & flag & info [ "no-policies" ] ~doc:"Start without the Table 2 policies.")
 
+let persist_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "persist" ] ~docv:"DIR"
+        ~doc:
+          "Persist the usage log to $(docv): accepted submissions are \
+           appended to a write-ahead log and the log state is recovered on \
+           the next start.")
+
+let fsync_conv : Persistence.Store.fsync_policy Arg.conv =
+  let print ppf p = Persistence.Wal.pp_fsync_policy ppf p in
+  Arg.conv (fsync_of_string, print)
+
+let persist_fsync =
+  Arg.(
+    value
+    & opt (some fsync_conv) None
+    & info [ "fsync" ] ~docv:"POLICY"
+        ~doc:
+          "WAL durability policy: $(b,always) (fsync every commit), \
+           $(b,interval:N) (fsync every N commits, the default with N=32), or \
+           $(b,never) (leave flushing to the OS).")
+
 let repl_cmd =
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive SQL console with policy enforcement")
-    Term.(ret (const run_repl $ noopt $ no_policies))
+    Term.(ret (const run_repl $ noopt $ no_policies $ persist_dir $ persist_fsync))
 
 let check_cmd =
   let policies =
@@ -178,7 +279,7 @@ let check_cmd =
   let uid = Arg.(value & opt int 1 & info [ "u"; "uid" ] ~doc:"User id.") in
   Cmd.v
     (Cmd.info "check" ~doc:"Check one query against policies; exit 1 on violation")
-    Term.(ret (const run_check $ policies $ query $ uid))
+    Term.(ret (const run_check $ policies $ query $ uid $ persist_dir $ persist_fsync))
 
 let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Short guided tour") Term.(ret (const run_demo $ const ()))

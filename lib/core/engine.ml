@@ -71,6 +71,11 @@ type t = {
   mutable last_violations : Policy.t list;
       (** violated policies of the most recent rejected submission, for
           {!Advisor}-style diagnosis *)
+  mutable persist : Persistence.Store.t option;
+  mutable persist_scope : string list;
+      (** the [store_rels] the store's snapshot scope was last computed
+          for; recomputed (with a checkpoint) whenever the plan is
+          invalidated and yields a different scope *)
 }
 
 type outcome =
@@ -81,7 +86,54 @@ let stats_of = function Accepted (_, s) -> s | Rejected (_, s) -> s
 
 let lc = Analysis.lc
 
+(* Checkpoint once the WAL holds this many records, bounding replay time
+   on recovery even for workloads that never trigger compaction. *)
+let wal_checkpoint_limit = 10_000
+
+let is_log' db rel = Catalog.is_log (Database.catalog db) rel
+
+(* Install the state recovered from the persistence directory: log
+   relation contents, the clock, and the registered-policy set. The same
+   generators must be registered as when the state was written — a
+   recovered relation without its table is an error, not a skip. *)
+let apply_recovered (db : Database.t) (r : Persistence.Recovery.recovered) :
+    Policy.t list =
+  let st = r.Persistence.Recovery.state in
+  List.iter
+    (fun (rel, (rs : Persistence.Snapshot.rel)) ->
+      match Catalog.find_opt (Database.catalog db) rel with
+      | None ->
+        Persistence.Recovery.error
+          "recovered log relation %s has no registered generator" rel
+      | Some table ->
+        if not (is_log' db rel) then
+          Persistence.Recovery.error "recovered relation %s is not a log relation" rel;
+        if rs.Persistence.Snapshot.schema <> [] then begin
+          let norm = List.map (fun (n, ty) -> (lc n, ty)) in
+          let installed =
+            List.map
+              (fun (c : Schema.column) -> (c.Schema.name, c.Schema.ty))
+              (Schema.columns (Table.schema table))
+          in
+          if norm installed <> norm rs.Persistence.Snapshot.schema then
+            Persistence.Recovery.error
+              "recovered relation %s: snapshot schema does not match the \
+               installed one"
+              rel
+        end;
+        Table.clear table;
+        Table.bulk_load table rs.Persistence.Snapshot.rows)
+    st.Persistence.Snapshot.relations;
+  Usage_log.set_clock db st.Persistence.Snapshot.clock;
+  List.map
+    (fun (p : Persistence.Record.policy_rec) ->
+      Policy.create (Database.catalog db) ~is_log:(is_log' db)
+        ~name:p.Persistence.Record.name
+        ~active_from:p.Persistence.Record.active_from p.Persistence.Record.source)
+    st.Persistence.Snapshot.policies
+
 let create ?(config = default_config) ?(generators = Usage_log.standard)
+    ?persist_dir ?(persist_fsync = Persistence.Store.Interval 32)
     (db : Database.t) : t =
   if not (Catalog.mem (Database.catalog db) Usage_log.clock_relation) then
     Usage_log.install_clock db;
@@ -93,7 +145,27 @@ let create ?(config = default_config) ?(generators = Usage_log.standard)
       if not (Catalog.mem (Database.catalog db) g.Usage_log.relation) then
         Usage_log.install_relation db g)
     generators;
-  { db; config; generators; registered = []; plan = None; last_violations = [] }
+  let t =
+    {
+      db;
+      config;
+      generators;
+      registered = [];
+      plan = None;
+      last_violations = [];
+      persist = None;
+      persist_scope = [];
+    }
+  in
+  (match persist_dir with
+  | None -> ()
+  | Some dir ->
+    let store, recovered = Persistence.Store.open_dir ~fsync:persist_fsync dir in
+    (match recovered with
+    | None -> ()
+    | Some r -> t.registered <- apply_recovered db r);
+    t.persist <- Some store);
+  t
 
 let database t = t.db
 
@@ -120,11 +192,25 @@ let add_policy t ~name sql : Policy.t =
   in
   t.registered <- t.registered @ [ p ];
   t.plan <- None;
+  (match t.persist with
+  | Some store ->
+    Persistence.Store.log_add_policy store
+      {
+        Persistence.Record.name;
+        source = sql;
+        active_from = p.Policy.active_from;
+      }
+  | None -> ());
   p
 
 let remove_policy t name =
+  let before = List.length t.registered in
   t.registered <- List.filter (fun p -> p.Policy.name <> name) t.registered;
-  t.plan <- None
+  t.plan <- None;
+  match t.persist with
+  | Some store when List.length t.registered < before ->
+    Persistence.Store.log_remove_policy store name
+  | Some _ | None -> ()
 
 let policies t = t.registered
 
@@ -163,12 +249,52 @@ let compute_plan t : plan =
     unified_groups;
   }
 
+(* Full persisted state at this instant, for checkpointing: the clock,
+   the policy set as registered, and every scope relation's contents. *)
+let persist_state t ~(scope : string list) : Persistence.Snapshot.state =
+  let rel_state rel =
+    let table = Database.table t.db rel in
+    let schema =
+      List.map
+        (fun (c : Schema.column) -> (c.Schema.name, c.Schema.ty))
+        (Schema.columns (Table.schema table))
+    in
+    let rows = Table.to_seq table |> Seq.map Row.cells |> List.of_seq in
+    (rel, { Persistence.Snapshot.schema; rows })
+  in
+  {
+    Persistence.Snapshot.clock = Usage_log.current_time t.db;
+    policies =
+      List.map
+        (fun (p : Policy.t) ->
+          {
+            Persistence.Record.name = p.Policy.name;
+            source = p.Policy.source;
+            active_from = p.Policy.active_from;
+          })
+        t.registered;
+    relations = List.map rel_state (List.sort_uniq String.compare scope);
+  }
+
+let checkpoint_to t store ~scope =
+  Persistence.Store.checkpoint store (persist_state t ~scope);
+  t.persist_scope <- scope
+
 let plan t =
   match t.plan with
   | Some p -> p
   | None ->
     let p = compute_plan t in
     t.plan <- Some p;
+    (* Recompute the persistence scope on every plan invalidation: a
+       config or policy change can move a log relation in or out of
+       [store_rels] (e.g. a policy ceasing to be TI-rewritten), and a
+       stale scope would let its tuples skip persistence. A checkpoint
+       realigns the on-disk state with the new scope atomically. *)
+    (match t.persist with
+    | Some store when p.store_rels <> t.persist_scope ->
+      checkpoint_to t store ~scope:p.store_rels
+    | Some _ | None -> ());
     p
 
 let log_size t rel = Table.row_count (Database.table t.db rel)
@@ -440,6 +566,13 @@ let preemptively_empty t (sub : submission) ~(now : int) (rel : string)
 let commit_logs t (sub : submission) (pl : plan) ~(now : int) =
   let stats = sub.stats in
   let is_log = is_log t in
+  (* Per-relation rows actually retained this commit (the WAL record),
+     and whether compaction deleted rows of the committed prefix — in
+     which case the WAL's append-only story no longer describes the
+     relation and a checkpoint must supersede it. *)
+  let persisted : (string * Value.t array list) list ref = ref [] in
+  let note_increment rel rows = if rows <> [] then persisted := (rel, rows) :: !persisted in
+  let compacted = ref false in
   if not t.config.log_compaction then begin
     (* Persist increments of time-dependent relations; discard the rest. *)
     Stats.timed
@@ -449,8 +582,9 @@ let commit_logs t (sub : submission) (pl : plan) ~(now : int) =
           (fun rel sp ->
             let table = Database.table t.db rel in
             if List.mem rel pl.store_rels then begin
-              stats.Stats.rows_logged <-
-                stats.Stats.rows_logged + List.length (Table.rows_since table sp);
+              let rows = Table.rows_since table sp in
+              stats.Stats.rows_logged <- stats.Stats.rows_logged + List.length rows;
+              note_increment rel (List.map Row.cells rows);
               Table.release table sp
             end
             else Table.rollback_to table sp)
@@ -515,11 +649,13 @@ let commit_logs t (sub : submission) (pl : plan) ~(now : int) =
         | Some (Mark_tids keep) ->
           Stats.timed
             (fun d -> stats.Stats.compact_delete <- stats.Stats.compact_delete +. d)
-            (fun () -> ignore (Table.retain_tids table keep)));
+            (fun () ->
+              if Table.retain_tids table keep > 0 then compacted := true));
         (* Insert the retained part of the increment. *)
         Stats.timed
           (fun d -> stats.Stats.compact_insert <- stats.Stats.compact_insert +. d)
           (fun () ->
+            let kept = ref [] in
             List.iter
               (fun row ->
                 let keep =
@@ -530,9 +666,11 @@ let commit_logs t (sub : submission) (pl : plan) ~(now : int) =
                 in
                 if keep then begin
                   ignore (Table.insert table (Row.cells row));
+                  kept := Row.cells row :: !kept;
                   stats.Stats.rows_logged <- stats.Stats.rows_logged + 1
                 end)
-              increment))
+              increment;
+            note_increment rel (List.rev !kept)))
       pl.store_rels;
     (* Roll back increments of relations generated for evaluation only. *)
     Hashtbl.iter
@@ -543,7 +681,28 @@ let commit_logs t (sub : submission) (pl : plan) ~(now : int) =
   end;
   (* All savepoints are resolved now: a later failure (e.g. in the user
      query) must not attempt to roll them back again. *)
-  Hashtbl.reset sub.generated
+  Hashtbl.reset sub.generated;
+  (* Durability. An accepted submission is one atomic WAL record: the
+     clock advance plus every relation's retained increment. When witness
+     compaction shrank a relation, an append-only record can no longer
+     describe the transition, so the commit degrades to a checkpoint —
+     which also truncates the WAL prefix the new snapshot supersedes, so
+     the on-disk footprint tracks the compacted log (§4.1.2/§4.3). *)
+  match t.persist with
+  | None -> ()
+  | Some store ->
+    Stats.timed
+      (fun d -> stats.Stats.persist <- stats.Stats.persist +. d)
+      (fun () ->
+        if !compacted then checkpoint_to t store ~scope:pl.store_rels
+        else begin
+          let increments =
+            List.sort (fun (a, _) (b, _) -> String.compare a b) !persisted
+          in
+          Persistence.Store.log_commit store ~clock:now ~increments;
+          if Persistence.Store.wal_records store >= wal_checkpoint_limit then
+            checkpoint_to t store ~scope:pl.store_rels
+        end)
 
 (* Submission -------------------------------------------------------------- *)
 
@@ -604,3 +763,19 @@ let submit t ~uid ?extra sql = submit_ast t ~uid ?extra (Parser.query sql)
 
 (* Violated policies of the most recent rejected submission. *)
 let last_violations t = t.last_violations
+
+(* Persistence ------------------------------------------------------------- *)
+
+let persist_store t = t.persist
+
+let persist_checkpoint t =
+  match t.persist with
+  | None -> ()
+  | Some store -> checkpoint_to t store ~scope:(plan t).store_rels
+
+let close t =
+  match t.persist with
+  | None -> ()
+  | Some store ->
+    Persistence.Store.close store;
+    t.persist <- None

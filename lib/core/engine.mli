@@ -52,8 +52,26 @@ type outcome =
 val stats_of : outcome -> Stats.t
 
 (** Wrap a database. Installs the clock and the given log relations
-    (default: {!Usage_log.standard}) if absent. *)
-val create : ?config:config -> ?generators:Usage_log.generator list -> Database.t -> t
+    (default: {!Usage_log.standard}) if absent.
+
+    When [persist_dir] is given, the engine opens (or creates) a durable
+    usage-log store there: every accepted submission's log increments and
+    clock advance are journaled as one atomic WAL commit record (a
+    rejected submission leaves the WAL untouched), witness compaction
+    triggers checkpoints, and on open the latest valid snapshot plus the
+    WAL tail are recovered — restoring the [store_rels] relations, the
+    clock and the registered-policy set. The same [generators] must be
+    registered as when the state was written.
+    [persist_fsync] picks the WAL durability/latency trade-off (default
+    [Interval 32]).
+    @raise Persistence.Recovery.Recovery_error on corrupted state. *)
+val create :
+  ?config:config ->
+  ?generators:Usage_log.generator list ->
+  ?persist_dir:string ->
+  ?persist_fsync:Persistence.Store.fsync_policy ->
+  Database.t ->
+  t
 
 val database : t -> Database.t
 
@@ -89,3 +107,15 @@ val submit_ast :
 (** Violated policies of the most recent rejected submission (for
     {!Advisor} diagnosis); empty after an accepted one. *)
 val last_violations : t -> Policy.t list
+
+(** The persistence store, when the engine was created with
+    [persist_dir] (introspection: generation, WAL length, disk size). *)
+val persist_store : t -> Persistence.Store.t option
+
+(** Force a checkpoint of the current persistence scope; no-op without
+    persistence. *)
+val persist_checkpoint : t -> unit
+
+(** Flush and close the persistence store, if any; the engine remains
+    usable in memory afterwards. *)
+val close : t -> unit

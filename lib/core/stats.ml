@@ -10,6 +10,7 @@ type t = {
   mutable compact_delete : float;
   mutable compact_insert : float;
   mutable query_exec : float;
+  mutable persist : float;  (** WAL append / checkpoint time *)
   mutable policy_calls : int;  (** number of policy (sub)queries issued *)
   mutable rows_logged : int;  (** log tuples persisted for this query *)
 }
@@ -22,13 +23,14 @@ let create () =
     compact_delete = 0.;
     compact_insert = 0.;
     query_exec = 0.;
+    persist = 0.;
     policy_calls = 0;
     rows_logged = 0;
   }
 
 let compaction_total s = s.compact_mark +. s.compact_delete +. s.compact_insert
 
-let overhead s = s.log_track +. s.policy_eval +. compaction_total s
+let overhead s = s.log_track +. s.policy_eval +. compaction_total s +. s.persist
 
 let total s = overhead s +. s.query_exec
 
@@ -40,6 +42,7 @@ let add a b =
     compact_delete = a.compact_delete +. b.compact_delete;
     compact_insert = a.compact_insert +. b.compact_insert;
     query_exec = a.query_exec +. b.query_exec;
+    persist = a.persist +. b.persist;
     policy_calls = a.policy_calls + b.policy_calls;
     rows_logged = a.rows_logged + b.rows_logged;
   }
@@ -56,6 +59,7 @@ let scale k s =
     compact_delete = s.compact_delete *. k;
     compact_insert = s.compact_insert *. k;
     query_exec = s.query_exec *. k;
+    persist = s.persist *. k;
     policy_calls = int_of_float (float_of_int s.policy_calls *. k);
     rows_logged = int_of_float (float_of_int s.rows_logged *. k);
   }
@@ -75,6 +79,7 @@ let ms x = x *. 1000.
 
 let pp ppf s =
   Format.fprintf ppf
-    "track %.3fms | eval %.3fms (%d calls) | compact %.3f/%.3f/%.3fms | query %.3fms"
+    "track %.3fms | eval %.3fms (%d calls) | compact %.3f/%.3f/%.3fms | persist \
+     %.3fms | query %.3fms"
     (ms s.log_track) (ms s.policy_eval) s.policy_calls (ms s.compact_mark)
-    (ms s.compact_delete) (ms s.compact_insert) (ms s.query_exec)
+    (ms s.compact_delete) (ms s.compact_insert) (ms s.persist) (ms s.query_exec)

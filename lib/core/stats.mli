@@ -10,6 +10,7 @@ type t = {
   mutable compact_delete : float;
   mutable compact_insert : float;
   mutable query_exec : float;
+  mutable persist : float;  (** WAL append / checkpoint time *)
   mutable policy_calls : int;  (** number of policy (sub)queries issued *)
   mutable rows_logged : int;  (** log tuples persisted for this query *)
 }

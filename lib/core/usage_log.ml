@@ -36,9 +36,11 @@ type generator = {
 
 let clock_relation = "clock"
 
+let full_schema (g : generator) = ("ts", Ty.Int) :: g.columns
+
 (* Register a log relation (with its ts column) in the catalog. *)
 let install_relation (db : Database.t) (g : generator) =
-  let schema = Schema.make (("ts", Ty.Int) :: g.columns) in
+  let schema = Schema.make (full_schema g) in
   ignore (Catalog.create_table ~kind:Catalog.Log (Database.catalog db) ~name:g.relation ~schema)
 
 let install_clock (db : Database.t) =

@@ -36,6 +36,11 @@ type generator = {
 (** Name of the single-row clock relation (["clock"]). *)
 val clock_relation : string
 
+(** The generator's on-disk schema {e including} the leading [ts]
+    column — what {!install_relation} creates and what the persistence
+    layer validates recovered snapshots against. *)
+val full_schema : generator -> (string * Ty.t) list
+
 (** Create the generator's (empty) log relation in the catalog. *)
 val install_relation : Database.t -> generator -> unit
 

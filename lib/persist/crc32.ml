@@ -1,0 +1,26 @@
+(** CRC-32 (IEEE 802.3). Table-driven, one byte per step; checksums stay
+    within 32 bits by construction since the seed is 32-bit and every
+    step shifts right. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s pos len =
+  let t = Lazy.force table in
+  let crc = ref (crc lxor 0xffffffff) in
+  for i = pos to pos + len - 1 do
+    crc := t.((!crc lxor Char.code (String.unsafe_get s i)) land 0xff) lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xffffffff
+
+let string s = update 0 s 0 (String.length s)
+
+let buffer b =
+  let s = Buffer.contents b in
+  update 0 s 0 (String.length s)

@@ -1,0 +1,15 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum guarding
+    every WAL record and snapshot payload.
+
+    Checksums are kept as non-negative [int]s in the 32-bit range so they
+    can be written with the 32-bit codec primitives directly. *)
+
+(** [update crc s pos len] extends [crc] with [len] bytes of [s] starting
+    at [pos]. Start from [0] for a fresh checksum. *)
+val update : int -> string -> int -> int -> int
+
+(** Checksum of a whole string. *)
+val string : string -> int
+
+(** Checksum of a whole [Buffer.t] without copying it out twice. *)
+val buffer : Buffer.t -> int

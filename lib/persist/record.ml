@@ -1,0 +1,67 @@
+open Relational
+
+type policy_rec = { name : string; source : string; active_from : int }
+
+type t =
+  | Commit of { clock : int; increments : (string * Value.t array list) list }
+  | Add_policy of policy_rec
+  | Remove_policy of string
+
+let encode r =
+  let b = Buffer.create 256 in
+  (match r with
+  | Commit { clock; increments } ->
+    Codec.w_u8 b 1;
+    Codec.w_i64 b clock;
+    Codec.w_u32 b (List.length increments);
+    List.iter
+      (fun (rel, rows) ->
+        Codec.w_string b rel;
+        Codec.w_rows b rows)
+      increments
+  | Add_policy { name; source; active_from } ->
+    Codec.w_u8 b 2;
+    Codec.w_string b name;
+    Codec.w_string b source;
+    Codec.w_i64 b active_from
+  | Remove_policy name ->
+    Codec.w_u8 b 3;
+    Codec.w_string b name);
+  Buffer.contents b
+
+let decode s =
+  let c = Codec.cursor s in
+  let r =
+    match Codec.r_u8 c with
+    | 1 ->
+      let clock = Codec.r_i64 c in
+      let n = Codec.r_u32 c in
+      if n > Codec.remaining c then
+        Codec.corrupt "increment count %d exceeds remaining payload" n;
+      let increments =
+        List.init n (fun _ ->
+            let rel = Codec.r_string c in
+            let rows = Codec.r_rows c in
+            (rel, rows))
+      in
+      Commit { clock; increments }
+    | 2 ->
+      let name = Codec.r_string c in
+      let source = Codec.r_string c in
+      let active_from = Codec.r_i64 c in
+      Add_policy { name; source; active_from }
+    | 3 -> Remove_policy (Codec.r_string c)
+    | k -> Codec.corrupt "unknown record kind %d" k
+  in
+  Codec.expect_end c;
+  r
+
+let pp ppf = function
+  | Commit { clock; increments } ->
+    Format.fprintf ppf "commit@%d {%s}" clock
+      (String.concat "; "
+         (List.map
+            (fun (rel, rows) -> Printf.sprintf "%s:+%d" rel (List.length rows))
+            increments))
+  | Add_policy p -> Format.fprintf ppf "add_policy %s (from %d)" p.name p.active_from
+  | Remove_policy n -> Format.fprintf ppf "remove_policy %s" n

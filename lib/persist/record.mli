@@ -1,0 +1,29 @@
+(** Typed WAL records.
+
+    One {!Commit} record is written per {e accepted} submission and is
+    the unit of atomicity: it carries the clock advance plus every log
+    relation's retained increment, so recovery either replays the whole
+    submission or (for a torn final record) none of it. Policy
+    registration changes are journaled too, so the registered-policy set
+    survives a crash between snapshots. *)
+
+open Relational
+
+(** A registered policy, as persisted: the SQL source re-parses against
+    the same catalog into the same policy, and [active_from] pins the
+    footnote-7 history guard to its original registration time. *)
+type policy_rec = { name : string; source : string; active_from : int }
+
+type t =
+  | Commit of { clock : int; increments : (string * Value.t array list) list }
+      (** the retained log increments of one accepted submission, keyed
+          by (lowercased) relation name, in deterministic name order *)
+  | Add_policy of policy_rec
+  | Remove_policy of string
+
+val encode : t -> string
+
+(** @raise Codec.Corrupt on malformed input. *)
+val decode : string -> t
+
+val pp : Format.formatter -> t -> unit

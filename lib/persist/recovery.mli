@@ -1,0 +1,29 @@
+(** Crash recovery: latest valid snapshot + WAL tail replay.
+
+    A persistence directory holds at most one live generation [g]:
+    [snapshot-<g>.dls] (absent for generation 0 before the first
+    checkpoint) and [wal-<g>.dlw] with the commits since that snapshot.
+    Recovery loads the snapshot, replays every whole WAL record on top,
+    truncates a torn final record (dropping exactly that commit), and
+    surfaces any checksum or format violation as {!Recovery_error} —
+    never as silently missing state. Stale lower-generation files and
+    leftover [.tmp] files (from a crash mid-checkpoint) are removed. *)
+
+exception Recovery_error of string
+
+val error : ('a, unit, string, 'b) format4 -> 'a
+
+val snapshot_file : int -> string
+val wal_file : int -> string
+
+type recovered = {
+  generation : int;
+  state : Snapshot.state;  (** snapshot with the WAL tail applied *)
+  wal_records : int;  (** whole records replayed from the WAL *)
+  torn_dropped : bool;  (** a torn final record was truncated away *)
+}
+
+(** Recover from [dir]; [None] when the directory holds no generation at
+    all (a fresh store).
+    @raise Recovery_error on corruption. *)
+val run : dir:string -> recovered option

@@ -1,0 +1,122 @@
+open Relational
+
+type rel = { schema : (string * Ty.t) list; rows : Value.t array list }
+
+type state = {
+  clock : int;
+  policies : Record.policy_rec list;
+  relations : (string * rel) list;
+}
+
+let empty = { clock = 0; policies = []; relations = [] }
+
+(* Serialization ----------------------------------------------------------- *)
+
+let magic = "DLSNAP"
+
+let encode state =
+  let b = Buffer.create 4096 in
+  Codec.w_i64 b state.clock;
+  Codec.w_u32 b (List.length state.policies);
+  List.iter
+    (fun (p : Record.policy_rec) ->
+      Codec.w_string b p.name;
+      Codec.w_string b p.source;
+      Codec.w_i64 b p.active_from)
+    state.policies;
+  Codec.w_u32 b (List.length state.relations);
+  List.iter
+    (fun (name, r) ->
+      Codec.w_string b name;
+      Codec.w_u32 b (List.length r.schema);
+      List.iter
+        (fun (col, ty) ->
+          Codec.w_string b col;
+          Codec.w_ty b ty)
+        r.schema;
+      Codec.w_rows b r.rows)
+    state.relations;
+  Buffer.contents b
+
+let decode payload =
+  let c = Codec.cursor payload in
+  let clock = Codec.r_i64 c in
+  let np = Codec.r_u32 c in
+  if np > Codec.remaining c then Codec.corrupt "policy count %d too large" np;
+  let policies =
+    List.init np (fun _ ->
+        let name = Codec.r_string c in
+        let source = Codec.r_string c in
+        let active_from = Codec.r_i64 c in
+        { Record.name; source; active_from })
+  in
+  let nr = Codec.r_u32 c in
+  if nr > Codec.remaining c then Codec.corrupt "relation count %d too large" nr;
+  let relations =
+    List.init nr (fun _ ->
+        let name = Codec.r_string c in
+        let nc = Codec.r_u32 c in
+        if nc > Codec.remaining c then Codec.corrupt "column count %d too large" nc;
+        let schema =
+          List.init nc (fun _ ->
+              let col = Codec.r_string c in
+              let ty = Codec.r_ty c in
+              (col, ty))
+        in
+        let rows = Codec.r_rows c in
+        (name, { schema; rows }))
+  in
+  Codec.expect_end c;
+  { clock; policies; relations }
+
+let write path state =
+  let payload = encode state in
+  let b = Buffer.create (String.length payload + 16) in
+  Buffer.add_string b magic;
+  Codec.w_u8 b Codec.format_version;
+  Codec.w_u8 b 0;
+  Codec.w_u32 b (String.length payload);
+  Codec.w_u32 b (Crc32.string payload);
+  Buffer.add_string b payload;
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let s = Buffer.contents b in
+      let rec go off =
+        if off < String.length s then
+          go (off + Unix.write_substring fd s off (String.length s - off))
+      in
+      go 0;
+      Unix.fsync fd);
+  Unix.rename tmp path;
+  (* Make the rename itself durable. *)
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | dirfd ->
+    Fun.protect ~finally:(fun () -> Unix.close dirfd) (fun () ->
+        try Unix.fsync dirfd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let header_len = String.length magic + 2 + 8
+
+let read path =
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  if String.length data < header_len then
+    Codec.corrupt "%s: snapshot shorter than its header" path;
+  if String.sub data 0 (String.length magic) <> magic then
+    Codec.corrupt "%s: bad snapshot magic" path;
+  let version = Char.code data.[String.length magic] in
+  if version <> Codec.format_version then
+    Codec.corrupt "%s: unsupported snapshot format version %d" path version;
+  let c = Codec.cursor (String.sub data (String.length magic + 2) 8) in
+  let plen = Codec.r_u32 c in
+  let crc = Codec.r_u32 c in
+  if String.length data <> header_len + plen then
+    Codec.corrupt "%s: snapshot payload length mismatch (%d vs %d)" path
+      (String.length data - header_len)
+      plen;
+  let payload = String.sub data header_len plen in
+  if Crc32.string payload <> crc then
+    Codec.corrupt "%s: snapshot checksum mismatch" path;
+  decode payload

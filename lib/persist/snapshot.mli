@@ -1,0 +1,30 @@
+(** Snapshot files: the full persisted engine state at a checkpoint.
+
+    A snapshot holds the clock, the registered-policy set and the
+    complete contents of every relation in the persistence scope (the
+    plan's [store_rels] — log relations some time-dependent policy still
+    needs). The payload is one CRC-framed block behind a [DLSNAP] +
+    version header; writes go to a temporary file that is fsynced and
+    atomically renamed, so a crash can never leave a half-written
+    snapshot under the real name. *)
+
+open Relational
+
+(** One relation's persisted state. [schema] is stored for validation on
+    recovery; an empty schema means "unknown" (a relation first seen in
+    the WAL, whose rows are type-checked on reload instead). *)
+type rel = { schema : (string * Ty.t) list; rows : Value.t array list }
+
+type state = {
+  clock : int;
+  policies : Record.policy_rec list;
+  relations : (string * rel) list;  (** in deterministic name order *)
+}
+
+val empty : state
+
+(** Atomically write [state] to [path] ([path ^ ".tmp"] + rename). *)
+val write : string -> state -> unit
+
+(** @raise Codec.Corrupt on checksum or format errors. *)
+val read : string -> state

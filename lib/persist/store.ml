@@ -1,0 +1,78 @@
+type fsync_policy = Wal.fsync_policy = Always | Interval of int | Never
+
+type t = {
+  dir : string;
+  fsync : fsync_policy;
+  mutable generation : int;
+  mutable wal : Wal.t;
+  mutable wal_base : int;  (** records already in the WAL file at open *)
+  mutable closed : bool;
+}
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let wal_path t = Filename.concat t.dir (Recovery.wal_file t.generation)
+let snap_path t = Filename.concat t.dir (Recovery.snapshot_file t.generation)
+
+let open_dir ?(fsync = Interval 32) dir =
+  mkdir_p dir;
+  let recovered = Recovery.run ~dir in
+  let generation, wal_base =
+    match recovered with
+    | None -> (0, 0)
+    | Some r -> (r.Recovery.generation, r.Recovery.wal_records)
+  in
+  let wal =
+    Wal.open_append ~path:(Filename.concat dir (Recovery.wal_file generation)) ~fsync
+  in
+  ({ dir; fsync; generation; wal; wal_base; closed = false }, recovered)
+
+let dir t = t.dir
+let fsync_policy t = t.fsync
+let generation t = t.generation
+let wal_records t = t.wal_base + Wal.records_appended t.wal
+
+let check_open t = if t.closed then invalid_arg "Persistence.Store: store is closed"
+
+let log_record t r =
+  check_open t;
+  Wal.append t.wal (Record.encode r)
+
+let log_commit t ~clock ~increments =
+  log_record t (Record.Commit { clock; increments })
+
+let log_add_policy t p = log_record t (Record.Add_policy p)
+let log_remove_policy t name = log_record t (Record.Remove_policy name)
+
+let flush t =
+  check_open t;
+  Wal.flush t.wal
+
+let checkpoint t state =
+  check_open t;
+  let old_wal = wal_path t and old_snap = snap_path t in
+  let g' = t.generation + 1 in
+  Snapshot.write (Filename.concat t.dir (Recovery.snapshot_file g')) state;
+  (* Buffered (and even already-written) WAL records are subsumed by the
+     snapshot: close the old WAL without caring about its tail. *)
+  Wal.close t.wal;
+  t.generation <- g';
+  t.wal_base <- 0;
+  t.wal <- Wal.open_append ~path:(wal_path t) ~fsync:t.fsync;
+  (* Only now is the old generation garbage. *)
+  (try Sys.remove old_wal with Sys_error _ -> ());
+  if Sys.file_exists old_snap then (try Sys.remove old_snap with Sys_error _ -> ())
+
+let disk_bytes t =
+  let size p = try (Unix.stat p).Unix.st_size with Unix.Unix_error _ -> 0 in
+  size (wal_path t) + size (snap_path t)
+
+let close t =
+  if not t.closed then begin
+    Wal.close t.wal;
+    t.closed <- true
+  end

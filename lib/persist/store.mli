@@ -1,0 +1,50 @@
+(** A durable usage-log store: one directory, one live generation.
+
+    The store pairs the current {!Wal} with the snapshot it extends and
+    handles checkpoint rotation: {!checkpoint} atomically writes
+    [snapshot-<g+1>], starts an empty [wal-<g+1>] and deletes the
+    generation-[g] files — truncating exactly the WAL prefix the new
+    snapshot supersedes. The engine triggers checkpoints when witness
+    compaction shrinks a log relation (so on-disk size tracks the
+    compacted log), when the persistence scope changes, and when the WAL
+    grows past a length bound. *)
+
+type fsync_policy = Wal.fsync_policy = Always | Interval of int | Never
+
+type t
+
+(** Open (creating the directory if needed) and recover. Returns the
+    recovered state to install — [None] for a brand-new store.
+    @raise Recovery.Recovery_error on corruption. *)
+val open_dir : ?fsync:fsync_policy -> string -> t * Recovery.recovered option
+
+val dir : t -> string
+val fsync_policy : t -> fsync_policy
+
+(** Current checkpoint generation. *)
+val generation : t -> int
+
+(** Records in the current WAL (replayed at open + appended since). *)
+val wal_records : t -> int
+
+(** Journal one accepted submission: its clock and every log relation's
+    retained increment, as one atomic record. *)
+val log_commit : t -> clock:int -> increments:(string * Relational.Value.t array list) list -> unit
+
+val log_add_policy : t -> Record.policy_rec -> unit
+val log_remove_policy : t -> string -> unit
+
+(** Write a new snapshot and rotate generations. Buffered WAL records
+    are subsumed by the snapshot and discarded. *)
+val checkpoint : t -> Snapshot.state -> unit
+
+(** Drain the group-commit buffer to disk (fsyncs unless policy is
+    {!Never}). *)
+val flush : t -> unit
+
+(** Bytes currently on disk (snapshot + WAL of the live generation). *)
+val disk_bytes : t -> int
+
+(** Flush, fsync and release the WAL descriptor. The store must not be
+    used afterwards. *)
+val close : t -> unit

@@ -70,6 +70,12 @@ let fold f init t = Vec.fold_left f init t.rows
 
 let rows t = Vec.to_list t.rows
 
+let to_seq t =
+  let rec aux i () =
+    if i >= Vec.length t.rows then Seq.Nil else Seq.Cons (Vec.get t.rows i, aux (i + 1))
+  in
+  aux 0
+
 let find_by_tid t tid =
   (* Rows are sorted by tid (append-only ids), so binary search works. *)
   let n = Vec.length t.rows in
@@ -89,6 +95,10 @@ let find_by_tid t tid =
 let guard_no_txn t op =
   if t.in_txn then
     Errors.runtime_error "table %s: %s not allowed inside a savepoint" t.name op
+
+let bulk_load t rows =
+  guard_no_txn t "bulk_load";
+  List.iter (fun cells -> ignore (insert t cells)) rows
 
 (* Delete all rows whose tid is NOT in [keep]; returns number removed. *)
 let retain_tids t keep =

@@ -28,6 +28,14 @@ val iter : (Row.t -> unit) -> t -> unit
 val fold : ('acc -> Row.t -> 'acc) -> 'acc -> t -> 'acc
 val rows : t -> Row.t list
 
+(** Rows in insertion order, produced lazily (snapshot serialization
+    iterates large log relations without materializing a list). *)
+val to_seq : t -> Row.t Seq.t
+
+(** Append many rows (recovery bulk load); each row is type-checked like
+    {!insert}. @raise Errors.Sql_error inside a savepoint. *)
+val bulk_load : t -> Value.t array list -> unit
+
 (** Binary search by tuple id (rows are sorted by tid by construction). *)
 val find_by_tid : t -> int -> Row.t option
 

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Repo health check: build, test suite, formatting (when ocamlformat is
+# available), and a persistence-bench smoke run.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt"
+  dune build @fmt
+else
+  echo "== dune build @fmt (skipped: ocamlformat not installed)"
+fi
+
+echo "== bench smoke (persist)"
+./_build/default/bench/main.exe persist >/dev/null
+
+echo "ok"

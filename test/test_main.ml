@@ -18,5 +18,6 @@ let () =
       ("engine", Test_engine.suite);
       ("engine_strategies", Test_engine_strategies.suite);
       ("extension", Test_extension.suite);
+      ("persist", Test_persist.suite);
       ("properties", Test_props.suite);
     ]

@@ -1,0 +1,431 @@
+(** The durable usage-log store (lib/persist).
+
+    Codec round-trips on random rows, the CRC reference vector, crash
+    simulation (torn WAL tails, corrupted records), snapshot round-trips,
+    and end-to-end kill-and-restart: a recovered engine must hold
+    byte-identical log relations, the same clock, and give identical
+    verdicts to an engine that never died — including across witness
+    compaction (which checkpoints) and config changes (which re-scope
+    persistence). *)
+
+open Relational
+open Datalawyer
+module P = Persistence
+
+let tc = Test_support.tc
+
+(* Fresh scratch directory per test. *)
+let temp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dl_persist_%d_%d" (Unix.getpid ()) !counter)
+    in
+    (if Sys.file_exists dir then
+       Sys.readdir dir |> Array.iter (fun f -> Sys.remove (Filename.concat dir f)));
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dir
+
+(* Exact (bit-level) value equality: the codec must preserve floats by
+   bit pattern, not just up to [Value.equal]'s numeric coercions. *)
+let value_eq a b =
+  match (a, b) with
+  | Value.Float x, Value.Float y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | _ -> a = b
+
+let row_eq a b = Array.length a = Array.length b && Array.for_all2 value_eq a b
+
+let rows_eq a b = List.length a = List.length b && List.for_all2 row_eq a b
+
+(* Codec ------------------------------------------------------------------- *)
+
+let value_gen : Value.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  frequency
+    [
+      (1, return Value.Null);
+      (2, map (fun b -> Value.Bool b) bool);
+      (4, map (fun i -> Value.Int i) (oneof [ int; return max_int; return min_int ]));
+      ( 3,
+        map
+          (fun f -> Value.Float (if Float.is_nan f then 0. else f))
+          (oneof [ float; return infinity; return neg_infinity; return (-0.) ]) );
+      (4, map (fun s -> Value.Str s) (string_size (int_range 0 24)));
+    ]
+
+let row_gen = QCheck.Gen.(map Array.of_list (list_size (int_range 0 8) value_gen))
+
+let print_row r =
+  "[" ^ String.concat "; " (Array.to_list (Array.map Value.to_sql r)) ^ "]"
+
+let prop_row_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"codec round-trips random rows"
+    (QCheck.make ~print:print_row row_gen)
+    (fun row ->
+      let b = Buffer.create 64 in
+      P.Codec.w_row b row;
+      let c = P.Codec.cursor (Buffer.contents b) in
+      let row' = P.Codec.r_row c in
+      P.Codec.expect_end c;
+      row_eq row row')
+
+let prop_commit_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"commit records round-trip"
+    (QCheck.make
+       ~print:(fun (clock, rows) ->
+         Printf.sprintf "clock=%d rows=%s" clock
+           (String.concat " " (List.map print_row rows)))
+       QCheck.Gen.(pair nat (list_size (int_range 0 6) row_gen)))
+    (fun (clock, rows) ->
+      let r = P.Record.Commit { clock; increments = [ ("users", rows); ("r2", []) ] } in
+      match P.Record.decode (P.Record.encode r) with
+      | P.Record.Commit { clock = c'; increments = [ ("users", rows'); ("r2", []) ] } ->
+        c' = clock && rows_eq rows rows'
+      | _ -> false)
+
+let crc_vectors () =
+  Alcotest.(check int)
+    "crc32(123456789)" 0xCBF43926
+    (P.Crc32.string "123456789");
+  Alcotest.(check int) "crc32(empty)" 0 (P.Crc32.string "");
+  Alcotest.(check int)
+    "incremental = whole"
+    (P.Crc32.string "hello world")
+    (P.Crc32.update (P.Crc32.string "hello ") "world" 0 5 |> fun _ ->
+     P.Crc32.update 0 "hello world" 0 11)
+
+let codec_rejects_garbage () =
+  Alcotest.check_raises "truncated value"
+    (P.Codec.Corrupt "truncated payload: need 8 bytes at offset 1 of 1")
+    (fun () ->
+      let c = P.Codec.cursor "\x03" in
+      ignore (P.Codec.r_value c));
+  let b = Buffer.create 8 in
+  P.Codec.w_u8 b 9;
+  match P.Codec.r_value (P.Codec.cursor (Buffer.contents b)) with
+  | exception P.Codec.Corrupt _ -> ()
+  | _ -> Alcotest.fail "unknown tag must raise"
+
+(* Snapshot ---------------------------------------------------------------- *)
+
+let snapshot_roundtrip () =
+  let dir = temp_dir () in
+  let path = Filename.concat dir "snapshot-00000007.dls" in
+  let state =
+    {
+      P.Snapshot.clock = 42;
+      policies =
+        [ { P.Record.name = "P1"; source = "SELECT DISTINCT 'x' FROM users"; active_from = 3 } ];
+      relations =
+        [
+          ( "users",
+            {
+              P.Snapshot.schema = [ ("ts", Ty.Int); ("uid", Ty.Int) ];
+              rows = [ [| Value.Int 1; Value.Int 7 |]; [| Value.Int 2; Value.Int 9 |] ];
+            } );
+        ];
+    }
+  in
+  P.Snapshot.write path state;
+  let state' = P.Snapshot.read path in
+  Alcotest.(check int) "clock" 42 state'.P.Snapshot.clock;
+  (match state'.P.Snapshot.policies with
+  | [ p ] ->
+    Alcotest.(check string) "policy name" "P1" p.P.Record.name;
+    Alcotest.(check int) "active_from" 3 p.P.Record.active_from
+  | _ -> Alcotest.fail "one policy expected");
+  match state'.P.Snapshot.relations with
+  | [ ("users", r) ] ->
+    Alcotest.(check bool) "rows" true
+      (rows_eq r.P.Snapshot.rows [ [| Value.Int 1; Value.Int 7 |]; [| Value.Int 2; Value.Int 9 |] ])
+  | _ -> Alcotest.fail "one relation expected"
+
+(* WAL crash simulation ----------------------------------------------------- *)
+
+let commit i = P.Record.Commit { clock = i; increments = [ ("users", [ [| Value.Int i; Value.Int 1 |] ]) ] }
+
+let store_with_commits dir n =
+  let store, recovered = P.Store.open_dir ~fsync:P.Store.Always dir in
+  Alcotest.(check bool) "fresh dir" true (recovered = None);
+  for i = 1 to n do
+    match commit i with
+    | P.Record.Commit { clock; increments } -> P.Store.log_commit store ~clock ~increments
+    | _ -> assert false
+  done;
+  P.Store.close store
+
+let wal_path dir = Filename.concat dir (P.Recovery.wal_file 0)
+
+let torn_tail_drops_only_last () =
+  let dir = temp_dir () in
+  store_with_commits dir 3;
+  (* Tear the final record: cut 3 bytes off the file. *)
+  let size = (Unix.stat (wal_path dir)).Unix.st_size in
+  Unix.truncate (wal_path dir) (size - 3);
+  let store, recovered = P.Store.open_dir ~fsync:P.Store.Always dir in
+  (match recovered with
+  | None -> Alcotest.fail "expected recovered state"
+  | Some r ->
+    Alcotest.(check bool) "torn flagged" true r.P.Recovery.torn_dropped;
+    Alcotest.(check int) "only the torn commit dropped" 2 r.P.Recovery.wal_records;
+    Alcotest.(check int) "clock from last whole commit" 2 r.P.Recovery.state.P.Snapshot.clock;
+    match r.P.Recovery.state.P.Snapshot.relations with
+    | [ ("users", rel) ] ->
+      Alcotest.(check bool) "two rows survive" true
+        (rows_eq rel.P.Snapshot.rows
+           [ [| Value.Int 1; Value.Int 1 |]; [| Value.Int 2; Value.Int 1 |] ])
+    | _ -> Alcotest.fail "users relation expected");
+  (* The torn bytes are gone from disk and appends work again. *)
+  P.Store.log_commit store ~clock:3 ~increments:[];
+  P.Store.close store;
+  let r = P.Wal.read (wal_path dir) in
+  Alcotest.(check bool) "file clean after truncation" false r.P.Wal.torn;
+  Alcotest.(check int) "records on disk" 3 (List.length r.P.Wal.payloads)
+
+let corruption_is_an_error () =
+  let dir = temp_dir () in
+  store_with_commits dir 3;
+  (* Flip a byte inside the FIRST record's payload: mid-file corruption,
+     not a torn tail — recovery must refuse, not silently drop. *)
+  let path = wal_path dir in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  ignore (Unix.lseek fd 20 Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "\xff") 0 1);
+  Unix.close fd;
+  match P.Store.open_dir ~fsync:P.Store.Always dir with
+  | exception P.Recovery.Recovery_error _ -> ()
+  | _ -> Alcotest.fail "corrupted WAL must raise Recovery_error"
+
+let missing_snapshot_is_an_error () =
+  let dir = temp_dir () in
+  (* A generation-3 WAL whose snapshot vanished: replay would silently
+     resurrect a partial state, so recovery refuses. *)
+  let w = P.Wal.open_append ~path:(Filename.concat dir (P.Recovery.wal_file 3)) ~fsync:P.Wal.Always in
+  P.Wal.append w (P.Record.encode (commit 1));
+  P.Wal.close w;
+  match P.Recovery.run ~dir with
+  | exception P.Recovery.Recovery_error _ -> ()
+  | _ -> Alcotest.fail "WAL without its base snapshot must raise"
+
+(* Engine end-to-end -------------------------------------------------------- *)
+
+let base_db () =
+  Test_support.db_of_script
+    {|
+    CREATE TABLE person (id INT, name TEXT);
+    INSERT INTO person VALUES (1, 'ada'), (2, 'bob'), (3, 'cyd')
+    |}
+
+(* At most 3 queries ever for uid 1: time-dependent (whole history). *)
+let budget_policy =
+  "SELECT DISTINCT 'budget exceeded for user 1' AS errorMessage FROM users u \
+   WHERE u.uid = 1 GROUP BY u.uid HAVING COUNT(DISTINCT u.ts) > 3"
+
+(* Sliding window: more than [max] distinct ticks of uid 1 within [w]. *)
+let window_policy ~w ~max =
+  Printf.sprintf
+    "SELECT DISTINCT 'window budget exceeded' AS errorMessage FROM users u, \
+     clock c WHERE u.uid = 1 AND u.ts > c.ts - %d GROUP BY u.uid HAVING \
+     COUNT(DISTINCT u.ts) > %d"
+    w max
+
+let outcome_sig = function
+  | Engine.Accepted _ -> "accept"
+  | Engine.Rejected (ms, _) -> "reject:" ^ String.concat "|" ms
+
+let submit_ok engine ~uid sql =
+  match Engine.submit engine ~uid sql with
+  | Engine.Accepted _ -> ()
+  | Engine.Rejected (ms, _) ->
+    Alcotest.fail ("unexpected rejection: " ^ String.concat "; " ms)
+
+let table_cells engine rel =
+  Table.to_seq (Database.table (Engine.database engine) rel)
+  |> Seq.map Row.cells |> List.of_seq
+
+(* Byte-identical contents: compare through the codec. *)
+let encode_cells rows =
+  let b = Buffer.create 256 in
+  P.Codec.w_rows b rows;
+  Buffer.contents b
+
+let check_same_log_state ~rels a b =
+  List.iter
+    (fun rel ->
+      Alcotest.(check string)
+        (rel ^ " byte-identical")
+        (encode_cells (table_cells a rel))
+        (encode_cells (table_cells b rel)))
+    rels;
+  Alcotest.(check int)
+    "clock equal"
+    (Usage_log.current_time (Engine.database a))
+    (Usage_log.current_time (Engine.database b))
+
+let recovered_engine_rejects_like_live () =
+  let dir = temp_dir () in
+  let a = Engine.create ~persist_dir:dir ~persist_fsync:P.Store.Always (base_db ()) in
+  ignore (Engine.add_policy a ~name:"budget" budget_policy);
+  for _ = 1 to 3 do
+    submit_ok a ~uid:1 "SELECT name FROM person WHERE id = 1"
+  done;
+  (* Crash: no close, no flush — fsync Always means nothing is lost. *)
+  let b = Engine.create ~persist_dir:dir ~persist_fsync:P.Store.Always (base_db ()) in
+  check_same_log_state ~rels:[ "users" ] a b;
+  (match Engine.policies b with
+  | [ p ] -> Alcotest.(check string) "policy recovered" "budget" p.Policy.name
+  | _ -> Alcotest.fail "expected exactly the recovered policy");
+  (* The 4th uid-1 query violates the budget — in both engines. *)
+  let probe = "SELECT name FROM person WHERE id = 2" in
+  Alcotest.(check string)
+    "same verdict" (outcome_sig (Engine.submit a ~uid:1 probe))
+    (outcome_sig (Engine.submit b ~uid:1 probe));
+  (match Engine.submit b ~uid:1 "SELECT 1 FROM person" with
+  | Engine.Rejected _ -> ()
+  | Engine.Accepted _ -> Alcotest.fail "recovered engine lost enforcement history");
+  (* Control: a fresh engine without the history accepts the same query. *)
+  let c = Engine.create (base_db ()) in
+  ignore (Engine.add_policy c ~name:"budget" budget_policy);
+  match Engine.submit c ~uid:1 "SELECT 1 FROM person" with
+  | Engine.Accepted _ -> Engine.close a; Engine.close b
+  | Engine.Rejected _ -> Alcotest.fail "control engine should accept"
+
+let kill_and_restart_100 () =
+  let dir = temp_dir () in
+  let a = Engine.create ~persist_dir:dir ~persist_fsync:P.Store.Always (base_db ()) in
+  ignore (Engine.add_policy a ~name:"window" (window_policy ~w:50 ~max:25));
+  (* 120 accepted submissions; uid 1 appears in a third of them, always
+     below the window threshold. Witness compaction prunes rows leaving
+     the window, so checkpoints fire along the way. *)
+  for i = 1 to 120 do
+    submit_ok a ~uid:(i mod 3) "SELECT COUNT(*) FROM person"
+  done;
+  let store = Option.get (Engine.persist_store a) in
+  Alcotest.(check bool) "compaction triggered checkpoints" true (P.Store.generation store > 0);
+  (* Crash and recover. *)
+  let b = Engine.create ~persist_dir:dir ~persist_fsync:P.Store.Always (base_db ()) in
+  check_same_log_state ~rels:[ "users" ] a b;
+  (* Identical verdicts on a mixed probe workload (some get rejected as
+     uid 1 exceeds the window budget, then accepted again as it slides). *)
+  for i = 1 to 40 do
+    let uid = if i mod 4 = 0 then 0 else 1 in
+    Alcotest.(check string)
+      (Printf.sprintf "probe %d verdict" i)
+      (outcome_sig (Engine.submit a ~uid "SELECT id FROM person WHERE id = 3"))
+      (outcome_sig (Engine.submit b ~uid "SELECT id FROM person WHERE id = 3"))
+  done;
+  check_same_log_state ~rels:[ "users" ] a b;
+  Engine.close a;
+  Engine.close b
+
+let compaction_checkpoint_bounds_disk () =
+  let dir = temp_dir () in
+  let a = Engine.create ~persist_dir:dir ~persist_fsync:P.Store.Always (base_db ()) in
+  (* A 5-tick window can hold at most 5 distinct ticks, so max = 5 keeps
+     the stream violation-free while still compacting expired rows. *)
+  ignore (Engine.add_policy a ~name:"window" (window_policy ~w:5 ~max:5));
+  let store = Option.get (Engine.persist_store a) in
+  for _ = 1 to 30 do
+    submit_ok a ~uid:1 "SELECT COUNT(*) FROM person"
+  done;
+  let bytes_30 = P.Store.disk_bytes store in
+  Alcotest.(check bool) "checkpoints happened" true (P.Store.generation store > 0);
+  for _ = 1 to 30 do
+    submit_ok a ~uid:1 "SELECT COUNT(*) FROM person"
+  done;
+  (* The in-memory log is bounded by the window, so with compaction
+     wired to checkpointing the on-disk footprint stays bounded too
+     instead of growing linearly with the WAL. *)
+  let bytes_60 = P.Store.disk_bytes store in
+  Alcotest.(check bool)
+    (Printf.sprintf "disk stays bounded (%d vs %d bytes)" bytes_30 bytes_60)
+    true
+    (bytes_60 <= bytes_30 + 256);
+  let b = Engine.create ~persist_dir:dir ~persist_fsync:P.Store.Always (base_db ()) in
+  check_same_log_state ~rels:[ "users" ] a b;
+  Engine.close a;
+  Engine.close b
+
+let rejects_leave_wal_untouched () =
+  let dir = temp_dir () in
+  let a = Engine.create ~persist_dir:dir ~persist_fsync:P.Store.Always (base_db ()) in
+  ignore (Engine.add_policy a ~name:"budget" budget_policy);
+  for _ = 1 to 3 do
+    submit_ok a ~uid:1 "SELECT 1 FROM person"
+  done;
+  let store = Option.get (Engine.persist_store a) in
+  let records_before = P.Store.wal_records store in
+  let bytes_before = P.Store.disk_bytes store in
+  (match Engine.submit a ~uid:1 "SELECT 2 FROM person" with
+  | Engine.Rejected _ -> ()
+  | Engine.Accepted _ -> Alcotest.fail "4th uid-1 query should be rejected");
+  Alcotest.(check int) "no WAL record for a reject" records_before (P.Store.wal_records store);
+  Alcotest.(check int) "no bytes for a reject" bytes_before (P.Store.disk_bytes store);
+  Engine.close a
+
+(* The set_config regression: a policy that is TI-rewritten (so its log
+   relation is outside the persistence scope) becomes time-dependent when
+   TI rewriting is switched off — the scope must be recomputed on plan
+   invalidation or its tuples silently skip persistence. *)
+let set_config_rescopes_persistence () =
+  let dir = temp_dir () in
+  (* Compaction off so retained rows are the raw increments; the point
+     here is scope recomputation, not witnesses. *)
+  let cfg_ti = { Engine.default_config with log_compaction = false } in
+  let a =
+    Engine.create ~config:cfg_ti ~persist_dir:dir ~persist_fsync:P.Store.Always
+      (base_db ())
+  in
+  ignore (Engine.add_policy a ~name:"no9" "SELECT DISTINCT 'uid 9 banned' FROM users u WHERE u.uid = 9");
+  for _ = 1 to 3 do
+    submit_ok a ~uid:1 "SELECT 1 FROM person"
+  done;
+  Alcotest.(check (list string)) "TI policy: nothing needs storing" []
+    (Engine.plan a).Engine.store_rels;
+  (* Disable TI rewriting: the policy becomes time-dependent and users
+     enters the persistence scope. *)
+  Engine.set_config a { cfg_ti with time_independent = false };
+  for _ = 1 to 3 do
+    submit_ok a ~uid:2 "SELECT 2 FROM person"
+  done;
+  Alcotest.(check (list string)) "users now persisted" [ "users" ]
+    (Engine.plan a).Engine.store_rels;
+  let b = Engine.create ~persist_dir:dir ~persist_fsync:P.Store.Always (base_db ()) in
+  check_same_log_state ~rels:[ "users" ] a b;
+  Alcotest.(check bool) "post-flip rows were persisted" true
+    (table_cells b "users" <> []);
+  Engine.close a;
+  Engine.close b
+
+let policy_removal_recovers () =
+  let dir = temp_dir () in
+  let a = Engine.create ~persist_dir:dir ~persist_fsync:P.Store.Always (base_db ()) in
+  ignore (Engine.add_policy a ~name:"budget" budget_policy);
+  ignore (Engine.add_policy a ~name:"other" (window_policy ~w:10 ~max:9));
+  submit_ok a ~uid:1 "SELECT 1 FROM person";
+  Engine.remove_policy a "budget";
+  let b = Engine.create ~persist_dir:dir ~persist_fsync:P.Store.Always (base_db ()) in
+  Alcotest.(check (list string)) "only the surviving policy recovers" [ "other" ]
+    (List.map (fun p -> p.Policy.name) (Engine.policies b));
+  Engine.close a;
+  Engine.close b
+
+let suite =
+  [
+    tc "crc32 reference vectors" crc_vectors;
+    tc "codec rejects garbage" codec_rejects_garbage;
+    tc "snapshot round-trip" snapshot_roundtrip;
+    tc "torn WAL tail drops only the torn commit" torn_tail_drops_only_last;
+    tc "mid-file corruption raises Recovery_error" corruption_is_an_error;
+    tc "WAL without base snapshot raises" missing_snapshot_is_an_error;
+    tc "recovered engine rejects like the live one" recovered_engine_rejects_like_live;
+    tc "kill-and-restart after 120 submissions" kill_and_restart_100;
+    tc "compaction checkpoints bound disk size" compaction_checkpoint_bounds_disk;
+    tc "rejects leave the WAL untouched" rejects_leave_wal_untouched;
+    tc "set_config recomputes persistence scope" set_config_rescopes_persistence;
+    tc "policy removal survives recovery" policy_removal_recovers;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_row_roundtrip; prop_commit_roundtrip ]
