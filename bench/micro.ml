@@ -53,7 +53,56 @@ let tests () =
            ignore (Relational.Executor.is_empty (Relational.Database.catalog db) p5.Policy.query)));
   ]
 
+(* Prepared-plan cache: per-submission policy-evaluation latency with the
+   cache cleared before every submission (cold — every policy, partial
+   policy and witness query is re-bound, re-optimized and re-compiled)
+   vs left warm (plans compiled once, executed per submission). *)
+let plan_cache_case () =
+  Common.header "Plan cache: policy evaluation, cold vs warm";
+  (* default thresholds: the compacted log stays small, so compile cost
+     is visible next to evaluation (bench_params' larger windows would
+     drown it in per-row work) *)
+  let s =
+    Workload.Runner.make
+      ~policy_names:[ "P1"; "P2"; "P3"; "P4"; "P5"; "P6" ]
+      ()
+  in
+  let engine = s.Workload.Runner.engine in
+  let q = Workload.Runner.query s "W1" in
+  (* warm up until the compacted log reaches steady state, so log growth
+     doesn't drift the measurement *)
+  ignore (Workload.Runner.run_stream s ~uid:1 ~n:100 q);
+  let n = 300 in
+  List.iter
+    (fun uid ->
+      (* interleave cold and warm submissions pairwise: the second
+         submission of each pair reuses exactly the plans the first just
+         compiled, cancelling any residual log drift *)
+      let cold = ref 0. and warm = ref 0. in
+      for _ = 1 to n do
+        Engine.clear_plan_cache engine;
+        let st =
+          Engine.stats_of (Engine.submit engine ~uid q.Workload.Queries.sql)
+        in
+        cold := !cold +. st.Stats.policy_eval;
+        let st =
+          Engine.stats_of (Engine.submit engine ~uid q.Workload.Queries.sql)
+        in
+        warm := !warm +. st.Stats.policy_eval
+      done;
+      Printf.printf
+        "policy evaluation per W1 submission (uid %d): cold %.1f us, warm \
+         %.1f us (%.2fx)\n"
+        uid
+        (!cold /. float_of_int n *. 1e6)
+        (!warm /. float_of_int n *. 1e6)
+        (!cold /. !warm))
+    [ 0; 1 ];
+  let hits, misses = Engine.plan_cache_stats engine in
+  Printf.printf "cache totals: %d hits / %d misses\n" hits misses
+
 let run () =
+  plan_cache_case ();
   Common.header "Micro-benchmarks (Bechamel)";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
   let raw =

@@ -76,6 +76,10 @@ type t = {
       (** the [store_rels] the store's snapshot scope was last computed
           for; recomputed (with a checkpoint) whenever the plan is
           invalidated and yields a different scope *)
+  prepared : Prepared.t;
+      (** compiled-plan cache for policy, partial-policy and witness
+          queries; invalidated through the same catalog generation
+          counter as the evaluation plan (see {!invalidate}) *)
 }
 
 type outcome =
@@ -155,6 +159,7 @@ let create ?(config = default_config) ?(generators = Usage_log.standard)
       last_violations = [];
       persist = None;
       persist_scope = [];
+      prepared = Prepared.create (Database.catalog db);
     }
   in
   (match persist_dir with
@@ -171,9 +176,18 @@ let database t = t.db
 
 let is_log t rel = Catalog.is_log (Database.catalog t.db) rel
 
+(* The single invalidation point: dropping the evaluation plan and
+   bumping the catalog generation together, so the prepared-plan cache
+   (and anything else keyed on the generation, like PR 1's
+   persistence-scope recompute in {!plan}) can never observe one without
+   the other. *)
+let invalidate t =
+  t.plan <- None;
+  Catalog.touch (Database.catalog t.db)
+
 let set_config t config =
   t.config <- config;
-  t.plan <- None
+  invalidate t
 
 let register_generator t (g : Usage_log.generator) =
   if not (Catalog.mem (Database.catalog t.db) g.Usage_log.relation) then
@@ -181,7 +195,7 @@ let register_generator t (g : Usage_log.generator) =
   t.generators <-
     List.sort (fun a b -> compare a.Usage_log.rank b.Usage_log.rank)
       (g :: t.generators);
-  t.plan <- None
+  invalidate t
 
 let add_policy t ~name sql : Policy.t =
   if List.exists (fun p -> p.Policy.name = name) t.registered then
@@ -191,7 +205,7 @@ let add_policy t ~name sql : Policy.t =
       ~active_from:(Usage_log.current_time t.db) sql
   in
   t.registered <- t.registered @ [ p ];
-  t.plan <- None;
+  invalidate t;
   (match t.persist with
   | Some store ->
     Persistence.Store.log_add_policy store
@@ -206,7 +220,7 @@ let add_policy t ~name sql : Policy.t =
 let remove_policy t name =
   let before = List.length t.registered in
   t.registered <- List.filter (fun p -> p.Policy.name <> name) t.registered;
-  t.plan <- None;
+  invalidate t;
   match t.persist with
   | Some store when List.length t.registered < before ->
     Persistence.Store.log_remove_policy store name
@@ -299,6 +313,10 @@ let plan t =
 
 let log_size t rel = Table.row_count (Database.table t.db rel)
 
+let plan_cache_stats t = Prepared.stats t.prepared
+
+let clear_plan_cache t = Prepared.clear t.prepared
+
 (* Online phase ------------------------------------------------------------ *)
 
 (* Mutable per-submission record of generated log increments. *)
@@ -359,7 +377,7 @@ let eval_query t (sub : submission) ?(track_src = false) (q : Ast.query) :
     (fun () ->
       sub.stats.Stats.policy_calls <- sub.stats.Stats.policy_calls + 1;
       let opts = { Executor.lineage = false; track_src } in
-      let r = Executor.run ~opts (Database.catalog t.db) q in
+      let r = Prepared.run t.prepared ~opts q in
       match r.Executor.out_rows with [] -> None | _ -> Some r)
 
 let message_of_result (p : Policy.t) (r : Executor.result) =
@@ -506,7 +524,7 @@ type mark = Mark_all | Mark_tids of (int, unit) Hashtbl.t
 (* Execute one witness query, adding the retained slot-0 tids to [acc]. *)
 let run_witness t (sub : submission) (w : Ast.select) (acc : (int, unit) Hashtbl.t) =
   let opts = { Executor.lineage = false; track_src = true } in
-  let r = Executor.run ~opts (Database.catalog t.db) (Ast.Select w) in
+  let r = Prepared.run t.prepared ~opts (Ast.Select w) in
   List.iter
     (fun (row : Executor.row_out) ->
       List.iter
@@ -557,7 +575,7 @@ let preemptively_empty t (sub : submission) ~(now : int) (rel : string)
               let pq =
                 { pq with Ast.where = Ast.conjoin (Ast.conjuncts_opt pq.Ast.where @ pins) }
               in
-              Executor.is_empty (Database.catalog t.db) (Ast.Select pq)
+              Prepared.is_empty t.prepared (Ast.Select pq)
             end)
           qs)
     (List.filter (fun p -> List.mem rel p.Policy.log_rels) policies)
@@ -749,7 +767,7 @@ let submit_ast t ~(uid : int) ?(extra = []) (query : Ast.query) : outcome =
       let result =
         Stats.timed
           (fun d -> sub.stats.Stats.query_exec <- sub.stats.Stats.query_exec +. d)
-          (fun () -> Executor.run (Database.catalog t.db) query)
+          (fun () -> Prepared.run t.prepared query)
       in
       Accepted (result, sub.stats)
     end

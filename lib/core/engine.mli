@@ -96,6 +96,14 @@ val plan : t -> plan
 (** Row count of a log relation. *)
 val log_size : t -> string -> int
 
+(** (hits, misses) of the prepared-plan cache the policy, partial-policy
+    and witness queries execute through. *)
+val plan_cache_stats : t -> int * int
+
+(** Drop every cached compiled plan, forcing cold compiles on the next
+    submission (benchmarking hook; statistics survive). *)
+val clear_plan_cache : t -> unit
+
 (** Check-and-execute one query (the §4.4 online phase). [extra] is
     passed to custom log-generating functions. *)
 val submit :

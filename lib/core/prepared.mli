@@ -1,0 +1,26 @@
+(** Prepared-plan cache: compiled query plans keyed by (AST, options),
+    revalidated against {!Relational.Catalog.generation}. One counter
+    covers every invalidation source — DDL bumps it structurally, the
+    engine bumps it on config/policy changes — so cached plans can never
+    go stale. *)
+
+open Relational
+
+type t
+
+val create : Catalog.t -> t
+
+(** Fetch or compile the plan for [q] under [opts].
+    @raise Errors.Sql_error on binding failures (never cached). *)
+val prepare : t -> ?opts:Executor.opts -> Ast.query -> Executor.compiled
+
+(** [prepare] + execute. *)
+val run : t -> ?opts:Executor.opts -> Ast.query -> Executor.result
+
+val is_empty : t -> ?opts:Executor.opts -> Ast.query -> bool
+
+(** (hits, misses) since creation. *)
+val stats : t -> int * int
+
+(** Drop every cached plan (the statistics survive). *)
+val clear : t -> unit

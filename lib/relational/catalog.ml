@@ -14,9 +14,13 @@ type table_kind =
 
 type entry = { table : Table.t; kind : table_kind }
 
-type t = { tables : (string, entry) Hashtbl.t }
+type t = { tables : (string, entry) Hashtbl.t; mutable generation : int }
 
-let create () = { tables = Hashtbl.create 16 }
+let create () = { tables = Hashtbl.create 16; generation = 0 }
+
+let generation t = t.generation
+
+let touch t = t.generation <- t.generation + 1
 
 let key name = String.lowercase_ascii name
 
@@ -26,7 +30,8 @@ let add ?(kind = Base) t table =
   let k = key (Table.name table) in
   if Hashtbl.mem t.tables k then
     Errors.catalog_error "table %s already exists" (Table.name table);
-  Hashtbl.replace t.tables k { table; kind }
+  Hashtbl.replace t.tables k { table; kind };
+  touch t
 
 let create_table ?(kind = Base) t ~name ~schema =
   let table = Table.create ~name ~schema in
@@ -37,7 +42,8 @@ let drop t name =
   let k = key name in
   if not (Hashtbl.mem t.tables k) then
     Errors.catalog_error "no such table: %s" name;
-  Hashtbl.remove t.tables k
+  Hashtbl.remove t.tables k;
+  touch t
 
 let find_opt t name =
   Option.map (fun e -> e.table) (Hashtbl.find_opt t.tables (key name))

@@ -14,6 +14,16 @@ type t
 
 val create : unit -> t
 
+(** Monotone shape counter: bumped on every {!add}/{!drop} (and by
+    {!touch}). Compiled plans capture table handles, so anything caching
+    them must key on this; the engine also bumps it explicitly on
+    configuration changes. *)
+val generation : t -> int
+
+(** Bump {!generation} without structural change — invalidates any plans
+    cached against this catalog. *)
+val touch : t -> unit
+
 (** Case-insensitive membership test. *)
 val mem : t -> string -> bool
 

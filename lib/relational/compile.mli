@@ -1,0 +1,33 @@
+(** Physical compiler: turns a bound {!Plan.query} into closure-compiled
+    operators.
+
+    The compiled plan captures table handles and fully resolved field
+    offsets; executing it does no name resolution, conjunct decomposition
+    or join-key derivation. It remains valid until the catalog changes
+    shape — callers key caches on {!Catalog.generation}. *)
+
+type opts = { lineage : bool; track_src : bool }
+
+val default_opts : opts
+
+(** Annotated row: values, lineage, and (FROM-slot index, tid) source
+    pairs. *)
+type arow = { vals : Value.t array; lin : Lineage.t; src : (int * int) list }
+
+(** Rows examined by join steps since the counter was last reset; a
+    statistics hook for tests and benchmarks. *)
+val rows_examined : int ref
+
+(** A compiled scalar closure over (row values, computed aggregates). *)
+type cexpr = Value.t array -> Value.t array -> Value.t
+
+(** Compile a bound expression. Pure compile step: errors (unknown
+    function, bad arity, type errors, division by zero) are raised when
+    the closure runs, matching per-row evaluation. *)
+val compile_expr : Plan.pexpr -> cexpr
+
+type t = { cols : string array; exec : unit -> arow list }
+
+(** Compile a bound plan against the catalog.
+    @raise Errors.Sql_error if a scanned table has been dropped. *)
+val compile : Catalog.t -> opts -> Plan.query -> t

@@ -21,6 +21,15 @@ val eval : env -> Ast.expr -> Value.t
     character. *)
 val like_match : string -> string -> bool
 
+(** Arithmetic with SQL NULL propagation and int/float promotion, shared
+    with the compiled-expression backend: [arith name fint ffloat a b]. *)
+val arith :
+  string -> (int -> int -> int) -> (float -> float -> float) -> Value.t ->
+  Value.t -> Value.t
+
+(** Comparison operators ([Eq]..[Ge]) with NULL-is-false semantics. *)
+val compare_op : Ast.binop -> Value.t -> Value.t -> Value.t
+
 (** An environment that rejects all column references. *)
 val const_env : env
 

@@ -1,586 +1,18 @@
-(** Query execution.
+(** Query execution: thin driver over the plan pipeline.
 
-    The executor evaluates a bound AST directly with materializing
-    operators. Its planning is deliberately simple but includes the two
-    optimizations that matter for the paper's workloads:
+    [run] is bind ({!Plan.of_query}) → rewrite ({!Optimizer.optimize}) →
+    compile ({!Compile.compile}) → execute. The expensive per-query work —
+    scope construction, conjunct decomposition, join-key derivation,
+    closure compilation — happens in [prepare]; executing a prepared plan
+    does none of it, which is what the engine's prepared-plan cache
+    exploits on the policy hot path.
 
-    - per-relation predicate pushdown (selective scans of large base
-      tables before any join), and
-    - hash equi-joins: the FROM list is joined left to right; whenever the
-      remaining WHERE conjuncts contain equality predicates connecting the
-      joined prefix to the next relation, they are used as hash keys,
-      otherwise the executor falls back to a filtered nested-loop join.
+    [prepare_unoptimized] skips the optimizer, giving a naive reference
+    executor for differential testing. *)
 
-    Two orthogonal annotations can be threaded through execution:
+type opts = Compile.opts = { lineage : bool; track_src : bool }
 
-    - {b lineage}: each output row carries the set of (relation, tid)
-      input tuples that contributed to it (which-provenance). Aggregation
-      and DISTINCT union the lineages of the rows they merge. This
-      implements the paper's [f_Provenance] log-generating function.
-    - {b source tids}: each output row carries, for every top-level FROM
-      item of the outermost SELECT, the tid of the row it was derived
-      from. Log compaction executes witness queries in this mode to mark
-      retained log tuples in place. *)
-
-type opts = { lineage : bool; track_src : bool }
-
-let default_opts = { lineage = false; track_src = false }
-
-type arow = {
-  vals : Value.t array;
-  lin : Lineage.t;
-  src : (int * int) list;  (** (FROM-slot index, tid) pairs *)
-}
-
-type rel = { cols : string array; rows : arow list }
-
-(* Scopes -------------------------------------------------------------- *)
-
-type slot = { alias : string; scols : string array; offset : int }
-
-type scope = { slots : slot array }
-
-let make_scope inputs =
-  let offset = ref 0 in
-  let slots =
-    Array.of_list
-      (List.map
-         (fun (alias, cols) ->
-           let s = { alias = String.lowercase_ascii alias; scols = cols; offset = !offset } in
-           offset := !offset + Array.length cols;
-           s)
-         inputs)
-  in
-  { slots }
-
-(* Resolve a column reference to (slot index, absolute value index). *)
-let resolve scope q name =
-  let lname = String.lowercase_ascii name in
-  let col_index slot =
-    let rec go i =
-      if i >= Array.length slot.scols then None
-      else if String.lowercase_ascii slot.scols.(i) = lname then Some i
-      else go (i + 1)
-    in
-    go 0
-  in
-  match q with
-  | Some q -> (
-    let lq = String.lowercase_ascii q in
-    let rec find i =
-      if i >= Array.length scope.slots then
-        Errors.bind_error "unknown table or alias %S" q
-      else if scope.slots.(i).alias = lq then i
-      else find (i + 1)
-    in
-    let si = find 0 in
-    match col_index scope.slots.(si) with
-    | Some ci -> (si, scope.slots.(si).offset + ci)
-    | None -> Errors.bind_error "no column %S in %S" name q)
-  | None -> (
-    let hits = ref [] in
-    Array.iteri
-      (fun si slot ->
-        match col_index slot with
-        | Some ci -> hits := (si, slot.offset + ci) :: !hits
-        | None -> ())
-      scope.slots;
-    match !hits with
-    | [ hit ] -> hit
-    | [] -> Errors.bind_error "unknown column %S" name
-    | _ -> Errors.bind_error "ambiguous column %S" name)
-
-let env_of_vals scope vals : Eval.env =
-  {
-    Eval.col = (fun q name -> vals.(snd (resolve scope q name)));
-    agg = None;
-  }
-
-(* Slot indices referenced by an expression (within the given scope). *)
-let slots_of_expr scope e =
-  let acc = ref [] in
-  Ast.iter_expr
-    (function
-      | Ast.Col (q, name) ->
-        let si, _ = resolve scope q name in
-        if not (List.mem si !acc) then acc := si :: !acc
-      | _ -> ())
-    e;
-  !acc
-
-(* Joins --------------------------------------------------------------- *)
-
-let concat_rows (a : arow) (b : arow) =
-  { vals = Array.append a.vals b.vals; lin = Lineage.union a.lin b.lin; src = a.src @ b.src }
-
-(* Decompose a conjunct as an equi-join between the joined prefix [left]
-   and the next slot [right_slot]: returns (left_expr, right_expr). *)
-let as_equi_key scope ~left ~right_slot = function
-  | Ast.Binop (Ast.Eq, a, b) -> (
-    let sa = slots_of_expr scope a and sb = slots_of_expr scope b in
-    let in_left ss = ss <> [] && List.for_all (fun s -> List.mem s left) ss in
-    let in_right ss = ss = [ right_slot ] in
-    match () with
-    | _ when in_left sa && in_right sb -> Some (a, b)
-    | _ when in_left sb && in_right sa -> Some (b, a)
-    | _ -> None)
-  | _ -> None
-
-(* Statistics hook: count of rows examined, for tests and benchmarks. *)
-let rows_examined = ref 0
-
-let note_rows n = rows_examined := !rows_examined + n
-
-(* Execution ------------------------------------------------------------ *)
-
-let rec exec_query (cat : Catalog.t) (opts : opts) (q : Ast.query) : rel =
-  match q with
-  | Ast.Select s -> exec_select cat opts s
-  | Ast.Union { all; left; right } ->
-    let l = exec_query cat opts left in
-    let r = exec_query cat opts right in
-    if Array.length l.cols <> Array.length r.cols then
-      Errors.bind_error "UNION operands have different arities (%d vs %d)"
-        (Array.length l.cols) (Array.length r.cols);
-    if all then { l with rows = l.rows @ r.rows }
-    else begin
-      (* Merge duplicate lineages/source-tids, as for DISTINCT. *)
-      let seen : (string, arow ref) Hashtbl.t = Hashtbl.create 64 in
-      let order = ref [] in
-      List.iter
-        (fun row ->
-          let key = Value.canonical_key_of_array row.vals in
-          match Hashtbl.find_opt seen key with
-          | Some kept ->
-            kept :=
-              { !kept with lin = Lineage.union !kept.lin row.lin;
-                           src = !kept.src @ row.src }
-          | None ->
-            let cell = ref row in
-            Hashtbl.add seen key cell;
-            order := cell :: !order)
-        (l.rows @ r.rows);
-      { l with rows = List.rev_map (fun c -> !c) !order }
-    end
-
-and materialize_from cat opts idx (fi : Ast.from_item) : string * string array * arow list =
-  match fi with
-  | Ast.From_table { name; alias } ->
-    let table = Catalog.find cat name in
-    let cols = Array.of_list (Schema.column_names (Table.schema table)) in
-    let tname = Table.name table in
-    let rows =
-      Table.fold
-        (fun acc row ->
-          let lin =
-            if opts.lineage then Lineage.singleton tname (Row.tid row) else Lineage.off
-          in
-          let src = if opts.track_src then [ (idx, Row.tid row) ] else [] in
-          { vals = Row.cells row; lin; src } :: acc)
-        [] table
-    in
-    (Option.value alias ~default:name, cols, List.rev rows)
-  | Ast.From_subquery { query; alias } ->
-    (* Lineage flows through subqueries; source tids do not (witness
-       queries are always built over flat FROM lists). *)
-    let sub = exec_query cat { opts with track_src = false } query in
-    (alias, sub.cols, sub.rows)
-
-and exec_select cat opts (s : Ast.select) : rel =
-  (* 1. Materialize inputs. *)
-  let inputs = List.mapi (fun i fi -> materialize_from cat opts i fi) s.from in
-  let scope = make_scope (List.map (fun (a, c, _) -> (a, c)) inputs) in
-  let input_rows = Array.of_list (List.map (fun (_, _, r) -> r) inputs) in
-  let nslots = Array.length scope.slots in
-  (* 2. Classify conjuncts. *)
-  let conjuncts = Ast.conjuncts_opt s.where in
-  List.iter
-    (fun c ->
-      if Ast.expr_has_agg c then
-        Errors.bind_error "aggregates are not allowed in WHERE")
-    conjuncts;
-  let with_slots = List.map (fun c -> (c, slots_of_expr scope c)) conjuncts in
-  (* Constant conjuncts gate the whole query. *)
-  let const_conjuncts, with_slots = List.partition (fun (_, ss) -> ss = []) with_slots in
-  let const_ok =
-    List.for_all
-      (fun (c, _) -> Value.to_bool (Eval.eval (env_of_vals scope [||]) c))
-      const_conjuncts
-  in
-  if not const_ok then
-    finish_select scope s []
-  else begin
-    (* 3. Pushdown: apply single-slot conjuncts to their input. *)
-    let single, multi =
-      List.partition (fun (_, ss) -> match ss with [ _ ] -> true | _ -> false) with_slots
-    in
-    let filtered = Array.copy input_rows in
-    List.iter
-      (fun (c, ss) ->
-        let si = List.hd ss in
-        let slot = scope.slots.(si) in
-        (* Evaluate against a single-slot view of the row. *)
-        let local_scope = { slots = [| { slot with offset = 0 } |] } in
-        filtered.(si) <-
-          List.filter
-            (fun r -> Value.to_bool (Eval.eval (env_of_vals local_scope r.vals) c))
-            filtered.(si))
-      single;
-    (* 4. Join left to right. *)
-    let remaining = ref multi in
-    let joined_slots = ref [] in
-    let joined_rows = ref [] in
-    (* Offsets of each slot inside the accumulated row. *)
-    let acc_offset = Array.make nslots (-1) in
-    let acc_width = ref 0 in
-    (* A scope view that resolves against the accumulated row layout. *)
-    let acc_env vals : Eval.env =
-      {
-        Eval.col =
-          (fun q name ->
-            let si, abs = resolve scope q name in
-            let off = acc_offset.(si) in
-            if off < 0 then Errors.bind_error "column of not-yet-joined relation";
-            vals.(off + (abs - scope.slots.(si).offset)));
-        agg = None;
-      }
-    in
-    for si = 0 to nslots - 1 do
-      let rows = filtered.(si) in
-      let slot = scope.slots.(si) in
-      let local_scope = { slots = [| { slot with offset = 0 } |] } in
-      if !joined_slots = [] then begin
-        joined_rows := rows;
-        joined_slots := [ si ];
-        acc_offset.(si) <- 0;
-        acc_width := Array.length slot.scols
-      end
-      else begin
-        (* Find applicable conjuncts once this slot joins. *)
-        let applicable, rest =
-          List.partition
-            (fun (_, ss) -> List.for_all (fun x -> List.mem x (si :: !joined_slots)) ss)
-            !remaining
-        in
-        remaining := rest;
-        let keys, residual =
-          List.fold_left
-            (fun (keys, residual) (c, _) ->
-              match as_equi_key scope ~left:!joined_slots ~right_slot:si c with
-              | Some k -> (k :: keys, residual)
-              | None -> (keys, c :: residual))
-            ([], []) applicable
-        in
-        let keys = List.rev keys and residual = List.rev residual in
-        let out = ref [] in
-        (if keys <> [] then begin
-           (* Hash join: build on the new slot, probe with the prefix. *)
-           let build = Hashtbl.create (max 16 (List.length rows)) in
-           List.iter
-             (fun r ->
-               let kv =
-                 Array.of_list
-                   (List.map
-                      (fun (_, re) -> Eval.eval (env_of_vals local_scope r.vals) re)
-                      keys)
-               in
-               let key = Value.canonical_key_of_array kv in
-               Hashtbl.add build key r)
-             rows;
-           List.iter
-             (fun l ->
-               let kv =
-                 Array.of_list
-                   (List.map (fun (le, _) -> Eval.eval (acc_env l.vals) le) keys)
-               in
-               let key = Value.canonical_key_of_array kv in
-               List.iter
-                 (fun r -> out := concat_rows l r :: !out)
-                 (Hashtbl.find_all build key))
-             !joined_rows
-         end
-         else
-           (* Nested-loop cross product. *)
-           List.iter
-             (fun l -> List.iter (fun r -> out := concat_rows l r :: !out) rows)
-             !joined_rows);
-        note_rows (List.length !out);
-        acc_offset.(si) <- !acc_width;
-        acc_width := !acc_width + Array.length slot.scols;
-        joined_slots := si :: !joined_slots;
-        (* Residual filters that became applicable. *)
-        let rows' =
-          if residual = [] then List.rev !out
-          else
-            List.filter
-              (fun r ->
-                List.for_all
-                  (fun c -> Value.to_bool (Eval.eval (acc_env r.vals) c))
-                  residual)
-              (List.rev !out)
-        in
-        joined_rows := rows'
-      end
-    done;
-    (* Any conjunct left over means unresolved references — should not
-       happen after the loop, but guard anyway. *)
-    (match !remaining with
-    | [] -> ()
-    | (c, _) :: _ ->
-      Errors.bind_error "could not place predicate %s" (Sql_print.expr c));
-    (* 5. The accumulated layout equals the scope layout because slots are
-       joined in order 0..n-1. An empty FROM contributes one empty row so
-       that [SELECT 1] yields a single tuple. *)
-    let rows =
-      if nslots = 0 then [ { vals = [||]; lin = Lineage.empty; src = [] } ]
-      else !joined_rows
-    in
-    finish_select scope s rows
-  end
-
-(* Group, project, distinct, order, limit. *)
-and finish_select scope (s : Ast.select) (rows : arow list) : rel =
-  let base_env vals : Eval.env = env_of_vals scope vals in
-  (* Decide whether this is an aggregate query. *)
-  let item_exprs =
-    List.filter_map
-      (function Ast.Sel_expr (e, _) -> Some e | Ast.Star | Ast.Table_star _ -> None)
-      s.items
-  in
-  let has_agg =
-    s.group_by <> [] || s.having <> None
-    || List.exists Ast.expr_has_agg item_exprs
-  in
-  (* Expand Star / Table_star into concrete output columns. *)
-  let star_columns () =
-    Array.to_list scope.slots
-    |> List.concat_map (fun slot ->
-           Array.to_list (Array.mapi (fun i c -> (slot.offset + i, c)) slot.scols))
-  in
-  let table_star_columns t =
-    let lt = String.lowercase_ascii t in
-    match Array.to_list scope.slots |> List.find_opt (fun sl -> sl.alias = lt) with
-    | None -> Errors.bind_error "unknown table or alias %S in select list" t
-    | Some slot ->
-      Array.to_list (Array.mapi (fun i c -> (slot.offset + i, c)) slot.scols)
-  in
-  (* The projection plan: a list of (column name, value extractor). *)
-  let projections ~env_of : (string * (arow -> Value.t)) list =
-    List.concat_map
-      (function
-        | Ast.Star ->
-          List.map (fun (idx, name) -> (name, fun r -> r.vals.(idx))) (star_columns ())
-        | Ast.Table_star t ->
-          List.map (fun (idx, name) -> (name, fun r -> r.vals.(idx))) (table_star_columns t)
-        | Ast.Sel_expr (e, alias) ->
-          let name =
-            match alias, e with
-            | Some a, _ -> a
-            | None, Ast.Col (_, c) -> c
-            | None, Ast.Agg_call (agg, _, _) ->
-              String.lowercase_ascii (Sql_print.agg_str agg)
-            | None, _ -> "?column?"
-          in
-          [ (name, fun r -> Eval.eval (env_of r) e) ])
-      s.items
-  in
-  let produced : (arow * (string * (arow -> Value.t)) list) list =
-    if not has_agg then
-      let projs = projections ~env_of:(fun r -> base_env r.vals) in
-      List.map (fun r -> (r, projs)) rows
-    else begin
-      (* Group rows. *)
-      let groups : (string, arow list ref) Hashtbl.t = Hashtbl.create 64 in
-      let order = ref [] in
-      List.iter
-        (fun r ->
-          let key =
-            Value.canonical_key_of_array
-              (Array.of_list
-                 (List.map (fun e -> Eval.eval (base_env r.vals) e) s.group_by))
-          in
-          match Hashtbl.find_opt groups key with
-          | Some cell -> cell := r :: !cell
-          | None ->
-            let cell = ref [ r ] in
-            Hashtbl.add groups key cell;
-            order := key :: !order)
-        rows;
-      let group_list =
-        List.rev_map (fun key -> List.rev !(Hashtbl.find groups key)) !order
-      in
-      (* A query with no GROUP BY but aggregates/having forms one group,
-         even over empty input. *)
-      let group_list = if s.group_by = [] then [ List.rev rows ] else group_list in
-      let agg_calls =
-        List.sort_uniq compare
-          (List.concat_map Aggregate.calls_in_expr
-             (item_exprs @ Option.to_list s.having @ List.map fst s.order_by))
-      in
-      List.filter_map
-        (fun grows ->
-          (* Compute each aggregate for this group. *)
-          let computed =
-            List.map
-              (fun call ->
-                match call with
-                | Ast.Agg_call (agg, distinct, arg) ->
-                  let eval_arg r =
-                    match arg with
-                    | None -> Value.Int 1
-                    | Some e -> Eval.eval (base_env r.vals) e
-                  in
-                  (call, Aggregate.compute agg ~distinct ~eval_arg grows)
-                | _ -> assert false)
-              agg_calls
-          in
-          let rep =
-            match grows with
-            | r :: _ -> r
-            | [] -> { vals = [||]; lin = Lineage.empty; src = [] }
-          in
-          let group_env _r : Eval.env =
-            {
-              Eval.col =
-                (fun q name ->
-                  if rep.vals = [||] then Value.Null
-                  else (base_env rep.vals).Eval.col q name);
-              agg = Some (fun e -> List.assoc_opt e computed);
-            }
-          in
-          (* Merge lineage and src across the group: an output tuple's
-             provenance is the union of its contributing inputs. *)
-          let merged =
-            {
-              vals = rep.vals;
-              lin = Lineage.union_all (List.map (fun r -> r.lin) grows);
-              src = List.concat_map (fun r -> r.src) grows;
-            }
-          in
-          let keep =
-            match s.having with
-            | None -> true
-            | Some h -> Value.to_bool (Eval.eval (group_env merged) h)
-          in
-          if keep then
-            let projs = projections ~env_of:group_env in
-            Some (merged, projs)
-          else None)
-        group_list
-    end
-  in
-  (* Evaluate projections (and order keys) per produced row. *)
-  let outputs =
-    List.map
-      (fun (r, projs) ->
-        let vals = Array.of_list (List.map (fun (_, f) -> f r) projs) in
-        let okeys =
-          List.map
-            (fun (e, dir) ->
-              (* ORDER BY may reference an output alias. *)
-              let v =
-                match e with
-                | Ast.Col (None, name) -> (
-                  match
-                    List.find_opt
-                      (fun (n, _) -> String.lowercase_ascii n = String.lowercase_ascii name)
-                      projs
-                  with
-                  | Some (_, f) -> f r
-                  | None -> (
-                    match projs with
-                    | _ -> (
-                      try Eval.eval (base_env r.vals) e
-                      with _ when has_agg -> Value.Null)))
-                | _ -> (
-                  try Eval.eval (base_env r.vals) e
-                  with _ when has_agg -> Value.Null)
-              in
-              (v, dir))
-            s.order_by
-        in
-        ({ r with vals }, okeys))
-      produced
-  in
-  (* Column names derive from the projection plan only; the extractor
-     closures are never invoked here. *)
-  let cols =
-    Array.of_list (List.map fst (projections ~env_of:(fun _ -> Eval.const_env)))
-  in
-  (* DISTINCT / DISTINCT ON *)
-  let outputs =
-    match s.distinct with
-    | Ast.All -> outputs
-    | Ast.Distinct ->
-      (* Duplicates are merged, not dropped: the surviving tuple's lineage
-         (and source tids) absorbs those of every duplicate, matching the
-         "set of contributing tuples" provenance semantics. *)
-      let seen : (string, arow ref * 'k) Hashtbl.t = Hashtbl.create 64 in
-      let order = ref [] in
-      List.iter
-        (fun (r, ok) ->
-          let key = Value.canonical_key_of_array r.vals in
-          match Hashtbl.find_opt seen key with
-          | Some (kept, _) ->
-            kept := { !kept with lin = Lineage.union !kept.lin r.lin;
-                                 src = !kept.src @ r.src }
-          | None ->
-            let cell = ref r in
-            Hashtbl.add seen key (cell, ok);
-            order := (cell, ok) :: !order)
-        outputs;
-      List.rev_map (fun (cell, ok) -> (!cell, ok)) !order
-    | Ast.Distinct_on keys ->
-      (* Keys are evaluated in the *input* row context; we must have kept
-         enough information, so we recompute from the produced pairs. Since
-         DISTINCT ON appears only in witness queries built over flat FROM
-         lists without aggregation, the input row is available. *)
-      let seen = Hashtbl.create 64 in
-      List.filter_map
-        (fun ((r, ok), input) ->
-          let kv =
-            Array.of_list (List.map (fun e -> Eval.eval (base_env input.vals) e) keys)
-          in
-          let key = Value.canonical_key_of_array kv in
-          if Hashtbl.mem seen key then None
-          else begin
-            Hashtbl.add seen key ();
-            Some (r, ok)
-          end)
-        (List.map2 (fun out (input, _) -> (out, input)) outputs produced)
-  in
-  (* ORDER BY, LIMIT *)
-  let outputs =
-    if s.order_by = [] then outputs
-    else
-      List.stable_sort
-        (fun (_, ka) (_, kb) ->
-          let rec cmp a b =
-            match a, b with
-            | [], [] -> 0
-            | (va, d) :: ra, (vb, _) :: rb ->
-              let c = Value.compare va vb in
-              let c = match d with Ast.Asc -> c | Ast.Desc -> -c in
-              if c <> 0 then c else cmp ra rb
-            | _ -> 0
-          in
-          cmp ka kb)
-        outputs
-  in
-  let outputs =
-    match s.limit with
-    | None -> outputs
-    | Some n ->
-      let rec take k = function
-        | [] -> []
-        | _ when k = 0 -> []
-        | x :: xs -> x :: take (k - 1) xs
-      in
-      take n outputs
-  in
-  { cols; rows = List.map fst outputs }
-
-(* Public API ----------------------------------------------------------- *)
+let default_opts = Compile.default_opts
 
 type row_out = {
   values : Value.t array;
@@ -590,20 +22,37 @@ type row_out = {
 
 type result = { columns : string list; out_rows : row_out list }
 
-let run ?(opts = default_opts) (cat : Catalog.t) (q : Ast.query) : result =
-  let rel = exec_query cat opts q in
+type compiled = Compile.t
+
+let prepare ?(opts = default_opts) (cat : Catalog.t) (q : Ast.query) : compiled =
+  Compile.compile cat opts (Optimizer.optimize (Plan.of_query cat q))
+
+let prepare_unoptimized ?(opts = default_opts) (cat : Catalog.t) (q : Ast.query)
+    : compiled =
+  Compile.compile cat opts (Plan.of_query cat q)
+
+let run_compiled (c : compiled) : result =
+  let rows = c.Compile.exec () in
   {
-    columns = Array.to_list rel.cols;
+    columns = Array.to_list c.Compile.cols;
     out_rows =
       List.map
-        (fun r ->
-          { values = r.vals; lineage = Lineage.to_list r.lin; src_tids = r.src })
-        rel.rows;
+        (fun (r : Compile.arow) ->
+          {
+            values = r.Compile.vals;
+            lineage = Lineage.to_list r.Compile.lin;
+            src_tids = r.Compile.src;
+          })
+        rows;
   }
+
+let run ?(opts = default_opts) cat q = run_compiled (prepare ~opts cat q)
+
+let run_unoptimized ?(opts = default_opts) cat q =
+  run_compiled (prepare_unoptimized ~opts cat q)
 
 let run_sql ?opts cat sql = run ?opts cat (Parser.query sql)
 
-(* Convenience: is the query result empty? Policies are satisfied iff so. *)
-let is_empty ?(opts = default_opts) cat q =
-  let rel = exec_query cat opts q in
-  rel.rows = []
+let is_empty ?opts cat q = (run ?opts cat q).out_rows = []
+
+let rows_examined = Compile.rows_examined

@@ -1,11 +1,5 @@
-(** Query execution.
-
-    Materializing operators over a bound AST, with two planning
-    optimizations that matter for the paper's workloads: per-relation
-    predicate pushdown and hash equi-joins (FROM items join left to
-    right; remaining equality conjuncts connecting the joined prefix to
-    the next relation become hash keys, otherwise a filtered nested loop
-    is used).
+(** Query execution: thin driver over the plan pipeline
+    (bind → optimize → compile → execute).
 
     Two orthogonal annotations can be threaded through execution:
 
@@ -18,7 +12,7 @@
       Log compaction executes witness queries in this mode to mark
       retained log tuples in place. *)
 
-type opts = { lineage : bool; track_src : bool }
+type opts = Compile.opts = { lineage : bool; track_src : bool }
 
 val default_opts : opts
 
@@ -31,9 +25,29 @@ type row_out = {
 
 type result = { columns : string list; out_rows : row_out list }
 
-(** Execute a query against the catalog.
+(** A compiled plan: all name resolution, conjunct decomposition, join
+    planning and closure compilation already done. Valid until the
+    catalog's shape changes (see {!Catalog.generation}). *)
+type compiled = Compile.t
+
+(** Bind, optimize and compile a query.
+    @raise Errors.Sql_error on binding failures. *)
+val prepare : ?opts:opts -> Catalog.t -> Ast.query -> compiled
+
+(** Like {!prepare} but skipping the optimizer: the naive reference path
+    used by differential tests. *)
+val prepare_unoptimized : ?opts:opts -> Catalog.t -> Ast.query -> compiled
+
+(** Execute a compiled plan.
+    @raise Errors.Sql_error on runtime failures. *)
+val run_compiled : compiled -> result
+
+(** Execute a query against the catalog ([prepare] + [run_compiled]).
     @raise Errors.Sql_error on binding or runtime failures. *)
 val run : ?opts:opts -> Catalog.t -> Ast.query -> result
+
+(** Execute through the un-optimized reference path. *)
+val run_unoptimized : ?opts:opts -> Catalog.t -> Ast.query -> result
 
 (** Parse and execute. *)
 val run_sql : ?opts:opts -> Catalog.t -> string -> result

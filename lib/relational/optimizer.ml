@@ -1,0 +1,282 @@
+(** Plan rewrites.
+
+    The binder emits a naive plan: every WHERE conjunct sits at the join
+    step where its slots are first all available, scans read full rows,
+    joins are nested loops. This module rewrites that plan:
+
+    - {b constant folding} — subtrees whose children are all literal fold
+      to their value; a subtree that would raise (e.g. [1/0]) is left
+      unfolded so the error still surfaces per evaluated row;
+    - {b predicate pushdown} — single-slot conjuncts move into the slot's
+      scan, rebased to the slot-local layout;
+    - {b equi-join-key extraction} — conjuncts of shape
+      [prefix_expr = slot_expr] at a join step become hash keys;
+    - {b projection pruning} — multi-slot selects narrow each slot to the
+      columns the rest of the plan references, remapping every
+      final-layout field.
+
+    Rewrites are semantics-preserving by construction; the differential
+    test in [test/test_plan_diff.ml] checks optimized output (rows,
+    lineage, source tids) against the un-optimized binder output. *)
+
+let is_const = function Plan.Const _ -> true | _ -> false
+
+(* Fold bottom-up. A node folds only when all direct children are already
+   constants (sound because children fold first); evaluation happens via
+   the compiled closure on empty environments, and any SQL error means
+   the node keeps its symbolic form. *)
+let rec fold (p : Plan.pexpr) : Plan.pexpr =
+  match p with
+  | Plan.Const _ | Plan.Field _ | Plan.Rep_field _ | Plan.Agg_ref _
+  | Plan.Agg_outside ->
+    p
+  | Plan.Binop (op, a, b) ->
+    let a = fold a and b = fold b in
+    let p' = Plan.Binop (op, a, b) in
+    if is_const a && is_const b then try_const p' else p'
+  | Plan.Unop (op, a) ->
+    let a = fold a in
+    let p' = Plan.Unop (op, a) in
+    if is_const a then try_const p' else p'
+  | Plan.Fn (name, args) ->
+    let args = List.map fold args in
+    let p' = Plan.Fn (name, args) in
+    if List.for_all is_const args then try_const p' else p'
+  | Plan.Case (branches, default) ->
+    let branches = List.map (fun (c, v) -> (fold c, fold v)) branches in
+    let default = Option.map fold default in
+    let p' = Plan.Case (branches, default) in
+    if
+      List.for_all (fun (c, v) -> is_const c && is_const v) branches
+      && (match default with None -> true | Some d -> is_const d)
+    then try_const p'
+    else p'
+
+and try_const (p : Plan.pexpr) : Plan.pexpr =
+  try Plan.Const (Compile.compile_expr p [||] [||])
+  with Errors.Sql_error _ -> p
+
+(* Shift final-layout fields to a slot-local layout (for predicates that
+   move inside a single slot's scan, or to the build side of a join). *)
+let rec rebase (off : int) (p : Plan.pexpr) : Plan.pexpr =
+  match p with
+  | Plan.Const _ | Plan.Agg_ref _ | Plan.Agg_outside -> p
+  | Plan.Field i -> Plan.Field (i - off)
+  | Plan.Rep_field i -> Plan.Rep_field (i - off)
+  | Plan.Binop (op, a, b) -> Plan.Binop (op, rebase off a, rebase off b)
+  | Plan.Unop (op, a) -> Plan.Unop (op, rebase off a)
+  | Plan.Fn (name, args) -> Plan.Fn (name, List.map (rebase off) args)
+  | Plan.Case (branches, default) ->
+    Plan.Case
+      ( List.map (fun (c, v) -> (rebase off c, rebase off v)) branches,
+        Option.map (rebase off) default )
+
+(* Renumber final-layout fields through a pruning map. *)
+let rec remap (tbl : int array) (p : Plan.pexpr) : Plan.pexpr =
+  match p with
+  | Plan.Const _ | Plan.Agg_ref _ | Plan.Agg_outside -> p
+  | Plan.Field i -> Plan.Field tbl.(i)
+  | Plan.Rep_field i -> Plan.Rep_field tbl.(i)
+  | Plan.Binop (op, a, b) -> Plan.Binop (op, remap tbl a, remap tbl b)
+  | Plan.Unop (op, a) -> Plan.Unop (op, remap tbl a)
+  | Plan.Fn (name, args) -> Plan.Fn (name, List.map (remap tbl) args)
+  | Plan.Case (branches, default) ->
+    Plan.Case
+      ( List.map (fun (c, v) -> (remap tbl c, remap tbl v)) branches,
+        Option.map (remap tbl) default )
+
+let mark_fields (used : bool array) (p : Plan.pexpr) : unit =
+  let rec walk = function
+    | Plan.Const _ | Plan.Agg_ref _ | Plan.Agg_outside -> ()
+    | Plan.Field i | Plan.Rep_field i -> used.(i) <- true
+    | Plan.Binop (_, a, b) ->
+      walk a;
+      walk b
+    | Plan.Unop (_, a) -> walk a
+    | Plan.Fn (_, args) -> List.iter walk args
+    | Plan.Case (branches, default) ->
+      List.iter
+        (fun (c, v) ->
+          walk c;
+          walk v)
+        branches;
+      Option.iter walk default
+  in
+  walk p
+
+let fold_finish (f : Plan.finish) : Plan.finish =
+  {
+    f with
+    projs = List.map fold f.Plan.projs;
+    group_by = List.map fold f.Plan.group_by;
+    aggs =
+      Array.map
+        (fun (a : Plan.agg_spec) -> { a with Plan.arg = Option.map fold a.Plan.arg })
+        f.Plan.aggs;
+    having = Option.map fold f.Plan.having;
+    order_by =
+      List.map
+        (fun (k, dir) ->
+          ( (match k with
+            | Plan.By_expr p -> Plan.By_expr (fold p)
+            | (Plan.By_output _ | Plan.By_null) as k -> k),
+            dir ))
+        f.Plan.order_by;
+    distinct =
+      (match f.Plan.distinct with
+      | Plan.D_on keys -> Plan.D_on (List.map fold keys)
+      | d -> d);
+  }
+
+let map_finish fn (f : Plan.finish) : Plan.finish =
+  {
+    f with
+    projs = List.map fn f.Plan.projs;
+    group_by = List.map fn f.Plan.group_by;
+    aggs =
+      Array.map
+        (fun (a : Plan.agg_spec) -> { a with Plan.arg = Option.map fn a.Plan.arg })
+        f.Plan.aggs;
+    having = Option.map fn f.Plan.having;
+    order_by =
+      List.map
+        (fun (k, dir) ->
+          ( (match k with
+            | Plan.By_expr p -> Plan.By_expr (fn p)
+            | (Plan.By_output _ | Plan.By_null) as k -> k),
+            dir ))
+        f.Plan.order_by;
+    distinct =
+      (match f.Plan.distinct with
+      | Plan.D_on keys -> Plan.D_on (List.map fn keys)
+      | d -> d);
+  }
+
+let iter_finish fn (f : Plan.finish) : unit =
+  List.iter fn f.Plan.projs;
+  List.iter fn f.Plan.group_by;
+  Array.iter
+    (fun (a : Plan.agg_spec) -> Option.iter fn a.Plan.arg)
+    f.Plan.aggs;
+  Option.iter fn f.Plan.having;
+  List.iter
+    (fun (k, _) -> match k with Plan.By_expr p -> fn p | _ -> ())
+    f.Plan.order_by;
+  match f.Plan.distinct with
+  | Plan.D_on keys -> List.iter fn keys
+  | _ -> ()
+
+let rec optimize (q : Plan.query) : Plan.query =
+  match q with
+  | Plan.Union { all; left; right } ->
+    Plan.Union { all; left = optimize left; right = optimize right }
+  | Plan.Select sp -> Plan.Select (optimize_select sp)
+
+and optimize_select (sp : Plan.select_plan) : Plan.select_plan =
+  let slots =
+    Array.map
+      (fun (sl : Plan.slot) ->
+        match sl.Plan.source with
+        | Plan.Scan _ -> sl
+        | Plan.Sub q -> { sl with Plan.source = Plan.Sub (optimize q) })
+      sp.Plan.slots
+  in
+  let nslots = Array.length slots in
+  let offsets = Plan.full_offsets slots in
+  let widths = Array.map (fun (sl : Plan.slot) -> Array.length sl.Plan.cols) slots in
+  let total = Array.fold_left ( + ) 0 widths in
+  (* Fold every expression first: folding can simplify conjuncts before
+     placement decisions. *)
+  let const_preds = List.map fold sp.Plan.const_preds in
+  let joins =
+    Array.map
+      (fun (j : Plan.jstep) ->
+        { j with Plan.residual = List.map fold j.Plan.residual })
+      sp.Plan.joins
+  in
+  let finish = fold_finish sp.Plan.finish in
+  (* Pushdown + equi-key extraction per join step. Single-slot conjuncts
+     always reference the step's own slot (naive placement put them at
+     the step where their last slot appears), so they push into its scan.
+     Of the rest, [prefix = this-slot] equalities become hash keys. *)
+  let scan_preds = Array.make (max nslots 1) [] in
+  let joins =
+    Array.mapi
+      (fun si (j : Plan.jstep) ->
+        let keys, residual =
+          List.fold_left
+            (fun (keys, residual) p ->
+              match Plan.slots_of_pexpr offsets widths p with
+              | [ s ] when s = si ->
+                scan_preds.(si) <-
+                  scan_preds.(si) @ [ rebase offsets.(si) p ];
+                (keys, residual)
+              | _ -> (
+                match p with
+                | Plan.Binop (Ast.Eq, a, b) -> (
+                  let sa = Plan.slots_of_pexpr offsets widths a in
+                  let sb = Plan.slots_of_pexpr offsets widths b in
+                  let in_prefix ss =
+                    ss <> [] && List.for_all (fun s -> s < si) ss
+                  in
+                  let on_slot ss = ss = [ si ] in
+                  if si > 0 && in_prefix sa && on_slot sb then
+                    ((a, rebase offsets.(si) b) :: keys, residual)
+                  else if si > 0 && in_prefix sb && on_slot sa then
+                    ((b, rebase offsets.(si) a) :: keys, residual)
+                  else (keys, p :: residual))
+                | _ -> (keys, p :: residual)))
+            ([], []) j.Plan.residual
+        in
+        { Plan.keys = List.rev keys; residual = List.rev residual })
+      joins
+  in
+  let scan_preds =
+    if nslots = 0 then sp.Plan.scan_preds else Array.sub scan_preds 0 nslots
+  in
+  (* Projection pruning: only worthwhile across joins — single-slot scans
+     share their cell arrays with the table, and projecting would copy
+     every row for no width saving downstream. *)
+  if nslots < 2 then
+    { Plan.slots; const_preds; scan_preds; joins; finish }
+  else begin
+    let used = Array.make total false in
+    Array.iter
+      (fun (j : Plan.jstep) ->
+        List.iter (fun (probe, _) -> mark_fields used probe) j.Plan.keys;
+        List.iter (mark_fields used) j.Plan.residual)
+      joins;
+    iter_finish (mark_fields used) finish;
+    let keep =
+      Array.mapi
+        (fun si w ->
+          let kept = ref [] in
+          for i = w - 1 downto 0 do
+            if used.(offsets.(si) + i) then kept := i :: !kept
+          done;
+          Array.of_list !kept)
+        widths
+    in
+    let slots =
+      Array.map2 (fun (sl : Plan.slot) k -> { sl with Plan.keep = k }) slots keep
+    in
+    (* Old absolute index -> index in the pruned layout. *)
+    let tbl = Array.make total (-1) in
+    let pruned = Plan.pruned_offsets slots in
+    Array.iteri
+      (fun si k ->
+        Array.iteri (fun j local -> tbl.(offsets.(si) + local) <- pruned.(si) + j) k)
+      keep;
+    let joins =
+      Array.map
+        (fun (j : Plan.jstep) ->
+          {
+            Plan.keys =
+              List.map (fun (probe, build) -> (remap tbl probe, build)) j.Plan.keys;
+            residual = List.map (remap tbl) j.Plan.residual;
+          })
+        joins
+    in
+    let finish = map_finish (remap tbl) finish in
+    { Plan.slots; const_preds; scan_preds; joins; finish }
+  end

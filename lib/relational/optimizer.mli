@@ -1,0 +1,8 @@
+(** Plan rewrites: constant folding, predicate pushdown into scans,
+    equi-join-key extraction, and projection pruning across joins.
+
+    Semantics-preserving: output rows, lineage, and source tids are
+    identical to compiling the binder's naive plan directly (checked by
+    the differential property test). *)
+
+val optimize : Plan.query -> Plan.query

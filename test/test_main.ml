@@ -19,5 +19,6 @@ let () =
       ("engine_strategies", Test_engine_strategies.suite);
       ("extension", Test_extension.suite);
       ("persist", Test_persist.suite);
+      ("plan_diff", Test_plan_diff.suite);
       ("properties", Test_props.suite);
     ]

@@ -1,0 +1,313 @@
+(** Differential tests for the plan pipeline.
+
+    The optimized path (bind → {!Optimizer.optimize} → compile) must be
+    observationally equivalent to the naive reference path that compiles
+    the binder's output directly: identical output columns and an
+    identical multiset of (values, lineage set, source-tid set) rows.
+    Rows are compared as multisets because the reference path's
+    nested-loop joins can emit matches in a different order than the
+    optimized hash joins — the same freedom the SQL semantics give an
+    unordered query.
+
+    Also here: regression tests pinning the prepared-plan cache's
+    invalidation rules (DDL, [set_config], unification's constants-table
+    rebuild), which all flow through the single catalog generation
+    counter. *)
+
+open Relational
+open Datalawyer
+open Test_support
+
+(* Random instances of the two-table schema r(a,b), s(a,c) — NULL-free
+   integers, so value comparison is total and aggregation deterministic. *)
+let table_rows_gen =
+  QCheck.Gen.list_size (QCheck.Gen.int_range 0 20)
+    (QCheck.Gen.pair (QCheck.Gen.int_range 0 5) (QCheck.Gen.int_range 0 5))
+
+let db_of_rows rows_r rows_s =
+  let db = Database.create () in
+  ignore
+    (Database.exec_script db
+       "CREATE TABLE r (a INT, b INT); CREATE TABLE s (a INT, c INT)");
+  let r = Database.table db "r" and s = Database.table db "s" in
+  List.iter
+    (fun (a, b) -> ignore (Table.insert r [| Value.Int a; Value.Int b |]))
+    rows_r;
+  List.iter
+    (fun (a, c) -> ignore (Table.insert s [| Value.Int a; Value.Int c |]))
+    rows_s;
+  db
+
+(* Random query SQL. The shapes cover every operator the compiler emits:
+   filtered scans, equi- and theta-joins, self-joins, subquery sources,
+   grouping/HAVING, DISTINCT (ON), ORDER BY, LIMIT, UNION (ALL).
+   Order-sensitive forms (LIMIT, DISTINCT ON) stay on single-table
+   queries, where both paths scan in the same order. *)
+let query_gen : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let k = int_range (-2) 7 in
+  let cmp = oneofl [ "="; "<"; "<="; ">"; ">="; "<>" ] in
+  let pred_r =
+    oneof
+      [
+        map2 (fun op c -> Printf.sprintf "r.a %s %d" op c) cmp k;
+        map2 (fun op c -> Printf.sprintf "r.b %s %d" op c) cmp k;
+        map (fun op -> Printf.sprintf "r.a %s r.b" op) cmp;
+        map2 (fun op c -> Printf.sprintf "r.a + r.b %s %d" op c) cmp k;
+      ]
+  in
+  let pred_join =
+    oneof
+      [
+        map (fun op -> Printf.sprintf "r.a %s s.a" op) cmp;
+        map2 (fun op c -> Printf.sprintf "s.c %s %d" op c) cmp k;
+        map2 (fun op c -> Printf.sprintf "r.b + s.c %s %d" op c) cmp k;
+      ]
+  in
+  let wand preds =
+    match List.filter (fun p -> p <> "") preds with
+    | [] -> ""
+    | ps -> " WHERE " ^ String.concat " AND " ps
+  in
+  let maybe g = oneof [ return ""; g ] in
+  oneof
+    [
+      (* single table: projections, DISTINCT (ON), ORDER BY, LIMIT *)
+      ( maybe pred_r >>= fun p ->
+        oneofl
+          [
+            Printf.sprintf "SELECT * FROM r%s" (wand [ p ]);
+            Printf.sprintf "SELECT r.b, r.a FROM r%s ORDER BY a DESC" (wand [ p ]);
+            Printf.sprintf "SELECT DISTINCT a FROM r%s" (wand [ p ]);
+            Printf.sprintf "SELECT DISTINCT ON (a) a, b FROM r%s" (wand [ p ]);
+            Printf.sprintf "SELECT a, a * b AS ab FROM r%s ORDER BY a LIMIT 5"
+              (wand [ p ]);
+          ] );
+      (* equi-join (optimizes to a hash join) plus extra predicates *)
+      ( pair (maybe pred_r) (maybe pred_join) >>= fun (p1, p2) ->
+        oneofl
+          [
+            Printf.sprintf "SELECT r.a, r.b, s.c FROM r, s%s"
+              (wand [ "r.a = s.a"; p1; p2 ]);
+            Printf.sprintf "SELECT * FROM r, s%s" (wand [ "r.a = s.a"; p1 ]);
+          ] );
+      (* theta-join / cross product (stays a nested loop) *)
+      ( pair (maybe pred_r) (maybe pred_join) >>= fun (p1, p2) ->
+        oneofl
+          [
+            Printf.sprintf "SELECT r.a, s.c FROM r, s%s" (wand [ "r.b < s.c"; p1 ]);
+            Printf.sprintf "SELECT r.a, s.a FROM r, s%s" (wand [ p1; p2 ]);
+          ] );
+      (* self-join *)
+      ( map2
+          (fun op c ->
+            Printf.sprintf
+              "SELECT x.a, y.b FROM r x, r y WHERE x.a = y.a AND x.b %s %d" op c)
+          cmp k );
+      (* subquery source joined to a base table *)
+      ( map2
+          (fun c1 c2 ->
+            Printf.sprintf
+              "SELECT q.a, s.c FROM (SELECT a, b FROM r WHERE a > %d) q, s \
+               WHERE q.a = s.a AND s.c < %d"
+              c1 c2)
+          k k );
+      (* aggregation, single table and over a join *)
+      ( pair (maybe pred_r) k >>= fun (p, thr) ->
+        oneofl
+          [
+            Printf.sprintf
+              "SELECT a, COUNT(*), SUM(b), MIN(b), MAX(b) FROM r%s GROUP BY a"
+              (wand [ p ]);
+            Printf.sprintf
+              "SELECT a, COUNT(*) AS n FROM r%s GROUP BY a HAVING COUNT(*) > %d \
+               ORDER BY a"
+              (wand [ p ]) (max 0 thr);
+            Printf.sprintf "SELECT COUNT(*), SUM(a + b) FROM r%s" (wand [ p ]);
+            Printf.sprintf
+              "SELECT r.a, COUNT(*), SUM(s.c) FROM r, s%s GROUP BY r.a"
+              (wand [ "r.a = s.a"; p ]);
+            Printf.sprintf
+              "SELECT COUNT(DISTINCT r.b) FROM r, s%s" (wand [ "r.a = s.a"; p ]);
+          ] );
+      (* UNION / UNION ALL *)
+      ( pair k k >>= fun (c1, c2) ->
+        oneofl
+          [
+            Printf.sprintf
+              "SELECT a FROM r WHERE a > %d UNION SELECT a FROM s WHERE a < %d"
+              c1 c2;
+            Printf.sprintf
+              "SELECT a, b FROM r WHERE b <> %d UNION ALL SELECT a, c FROM s \
+               WHERE c <> %d"
+              c1 c2;
+          ] );
+    ]
+
+let case_arb =
+  QCheck.make
+    ~print:(fun (sql, r, s) ->
+      Printf.sprintf "%s\n r=%s s=%s" sql
+        (String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) r))
+        (String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) s)))
+    (QCheck.Gen.triple query_gen table_rows_gen table_rows_gen)
+
+(* Canonical form: multiset of (values, lineage set, source-tid set). *)
+let canon (rows : Executor.row_out list) =
+  List.sort compare
+    (List.map
+       (fun (r : Executor.row_out) ->
+         ( Array.to_list r.Executor.values,
+           List.sort compare r.Executor.lineage,
+           List.sort compare r.Executor.src_tids ))
+       rows)
+
+let run_both (sql, rows_r, rows_s) =
+  let db = db_of_rows rows_r rows_s in
+  let cat = Database.catalog db in
+  let q = Parser.query sql in
+  let opts = { Executor.lineage = true; track_src = true } in
+  let o = Executor.run ~opts cat q in
+  let u = Executor.run_unoptimized ~opts cat q in
+  (o, u)
+
+let prop_diff =
+  QCheck.Test.make
+    ~name:
+      "optimized pipeline = naive reference (rows, lineage, src tids)"
+    ~count:500 case_arb
+    (fun case ->
+      let o, u = run_both case in
+      o.Executor.columns = u.Executor.columns
+      && canon o.Executor.out_rows = canon u.Executor.out_rows)
+
+(* Deterministic spot check with full annotations through a join, so a
+   lineage/src-tid regression fails with a readable diff. *)
+let test_join_lineage_identical () =
+  let db = sample_db () in
+  let cat = Database.catalog db in
+  let q =
+    Parser.query
+      "SELECT e.name, d.budget FROM emp e, dept d \
+       WHERE e.dept = d.dname AND e.salary > 85"
+  in
+  let opts = { Executor.lineage = true; track_src = true } in
+  let o = Executor.run ~opts cat q in
+  let u = Executor.run_unoptimized ~opts cat q in
+  Alcotest.(check (list string)) "columns" u.Executor.columns o.Executor.columns;
+  Alcotest.(check bool) "rows + lineage + src tids" true
+    (canon o.Executor.out_rows = canon u.Executor.out_rows);
+  Alcotest.(check int) "join produced rows" 4 (List.length o.Executor.out_rows)
+
+(* Prepared-plan cache: DDL invalidation ---------------------------------- *)
+
+let test_prepared_ddl_invalidation () =
+  let db = sample_db () in
+  let cat = Database.catalog db in
+  let prep = Prepared.create cat in
+  let q = Parser.query "SELECT COUNT(*) FROM emp" in
+  let count () =
+    match (Prepared.run prep q).Executor.out_rows with
+    | [ { Executor.values = [| Value.Int n |]; _ } ] -> n
+    | _ -> Alcotest.fail "count expected"
+  in
+  Alcotest.(check int) "initial rows" 5 (count ());
+  Alcotest.(check int) "second run" 5 (count ());
+  Alcotest.(check int) "second run hits the cache" 1 (fst (Prepared.stats prep));
+  (* Drop and recreate the table: the cached plan captured the old table
+     handle and must not survive. *)
+  ignore
+    (Database.exec_script db
+       "DROP TABLE emp; CREATE TABLE emp (id INT, name TEXT, dept TEXT, \
+        salary INT); INSERT INTO emp VALUES (9, 'zoe', 'eng', 70)");
+  Alcotest.(check int) "fresh table, fresh plan" 1 (count ())
+
+(* Prepared-plan cache: set_config invalidation (the PR 1 composition
+   point — one generation counter serves both the persistence-scope
+   recompute and the plan cache). *)
+
+let test_set_config_invalidates_cache () =
+  let db = sample_db () in
+  let e = Engine.create db in
+  ignore
+    (Engine.add_policy e ~name:"expensive"
+       "SELECT DISTINCT 'mgmt data is off limits' FROM users u, emp g \
+        WHERE u.uid = g.id AND g.dept = 'mgmt'");
+  let accepted = function Engine.Accepted _ -> true | _ -> false in
+  Alcotest.(check bool) "uid 1 accepted" true
+    (accepted (Engine.submit e ~uid:1 "SELECT name FROM emp"));
+  Alcotest.(check bool) "uid 5 (mgmt) rejected" false
+    (accepted (Engine.submit e ~uid:5 "SELECT name FROM emp"));
+  let _, misses_before = Engine.plan_cache_stats e in
+  (* A warm resubmission compiles nothing new... *)
+  ignore (Engine.submit e ~uid:1 "SELECT name FROM emp");
+  let hits_warm, misses_warm = Engine.plan_cache_stats e in
+  Alcotest.(check int) "warm submission adds no misses" misses_before misses_warm;
+  Alcotest.(check bool) "warm submission hits the cache" true (hits_warm > 0);
+  (* ...while set_config drops every cached plan, even when the new
+     config is behaviourally close to the old one. *)
+  Engine.set_config e { Engine.default_config with Engine.strategy = Engine.Serial };
+  ignore (Engine.submit e ~uid:1 "SELECT name FROM emp");
+  let _, misses_after = Engine.plan_cache_stats e in
+  Alcotest.(check bool) "set_config forces recompilation" true
+    (misses_after > misses_warm);
+  (* And decisions stay correct under the new config. *)
+  Alcotest.(check bool) "uid 5 still rejected after set_config" false
+    (accepted (Engine.submit e ~uid:5 "SELECT name FROM emp"))
+
+(* Prepared-plan cache: unification's constants-table rebuild. Adding a
+   third unifiable policy drops and recreates the dl_constants table; a
+   stale compiled plan would keep scanning the dropped two-constant
+   table and miss the new member's violation. *)
+
+let test_unify_constants_rebuild_invalidates () =
+  let db = sample_db () in
+  let e = Engine.create db in
+  let member dept =
+    ignore
+      (Engine.add_policy e ~name:("no_" ^ dept)
+         (Printf.sprintf
+            "SELECT DISTINCT 'dept %s off limits' FROM users u, emp g \
+             WHERE u.uid = g.id AND g.dept = '%s' HAVING COUNT(DISTINCT u.uid) > 0"
+            dept dept))
+  in
+  member "eng";
+  member "ops";
+  let accepted = function Engine.Accepted _ -> true | _ -> false in
+  (* uid 5 is mgmt: accepted, and the unified eng/ops plan is now warm. *)
+  Alcotest.(check bool) "mgmt uid accepted with eng/ops policies" true
+    (accepted (Engine.submit e ~uid:5 "SELECT name FROM emp"));
+  Alcotest.(check bool) "eng uid rejected" false
+    (accepted (Engine.submit e ~uid:1 "SELECT name FROM emp"));
+  member "mgmt";
+  Alcotest.(check bool) "third member enforced immediately" false
+    (accepted (Engine.submit e ~uid:5 "SELECT name FROM emp"))
+
+(* Warm resubmission of the same workload compiles nothing new. *)
+let test_cache_steady_state () =
+  let db = sample_db () in
+  let e = Engine.create db in
+  ignore
+    (Engine.add_policy e ~name:"p"
+       "SELECT DISTINCT 'no ops data' FROM users u, emp g \
+        WHERE u.uid = g.id AND g.dept = 'ops'");
+  ignore (Engine.submit e ~uid:1 "SELECT name FROM emp");
+  ignore (Engine.submit e ~uid:1 "SELECT name FROM emp");
+  let _, misses = Engine.plan_cache_stats e in
+  ignore (Engine.submit e ~uid:1 "SELECT name FROM emp");
+  ignore (Engine.submit e ~uid:2 "SELECT salary FROM emp WHERE id = 1");
+  ignore (Engine.submit e ~uid:1 "SELECT name FROM emp");
+  let _, misses' = Engine.plan_cache_stats e in
+  (* Only the one new user query should have compiled. *)
+  Alcotest.(check int) "steady state compiles only new queries" (misses + 1)
+    misses'
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest [ prop_diff ]
+  @ [
+      tc "join lineage identical across paths" test_join_lineage_identical;
+      tc "prepared cache: DDL invalidates" test_prepared_ddl_invalidation;
+      tc "prepared cache: set_config invalidates" test_set_config_invalidates_cache;
+      tc "prepared cache: unify constants rebuild" test_unify_constants_rebuild_invalidates;
+      tc "prepared cache: steady state" test_cache_steady_state;
+    ]
