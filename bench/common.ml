@@ -17,6 +17,10 @@ type scale = { batches : int; batch_size : int; noopt_w2_n : int; noopt_w4_n : i
 let quick_scale = { batches = 20; batch_size = 120; noopt_w2_n = 80; noopt_w4_n = 8 }
 let full_scale = { batches = 50; batch_size = 120; noopt_w2_n = 400; noopt_w4_n = 10 }
 
+(* CI smoke mode (--smoke): tiny iteration counts so regressions fail
+   fast; regression floors still assert. *)
+let smoke = ref false
+
 let mimic_config = Mimic.Generate.default_config
 
 let n_patients = mimic_config.Mimic.Generate.n_patients

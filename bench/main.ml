@@ -19,7 +19,8 @@ let experiments =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
-  let names = List.filter (fun a -> a <> "--full") args in
+  Common.smoke := List.mem "--smoke" args;
+  let names = List.filter (fun a -> a <> "--full" && a <> "--smoke") args in
   let scale = if full then Common.full_scale else Common.quick_scale in
   let names = if names = [] then List.map fst experiments else names in
   let t0 = Unix.gettimeofday () in

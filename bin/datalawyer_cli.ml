@@ -72,12 +72,14 @@ let repl_help =
   :policies             list registered policies
   :drop NAME            remove a policy
   :log                  show usage-log sizes (and on-disk state)
+  :stats                show index sizes and plan-cache hit rates
   :checkpoint           force a persistence checkpoint
   :tables               list tables
   :load TABLE FILE.csv  import a CSV file (creates the table if needed)
   :export TABLE FILE    export a table to CSV
   :quit                 exit
-anything else is SQL, checked against the policies before running|}
+CREATE/DROP statements (e.g. CREATE INDEX ix ON t USING hash (col))
+run directly; anything else is SQL, checked against the policies|}
 
 let run_repl noopt no_policies persist_dir persist_fsync =
   let db, engine =
@@ -113,6 +115,32 @@ let run_repl noopt no_policies persist_dir persist_fsync =
                (Persistence.Store.wal_records store)
                (Persistence.Store.disk_bytes store)
            | None -> ()
+         end
+         else if line = ":stats" then begin
+           let cat = Database.catalog db in
+           List.iter
+             (fun tname ->
+               let table = Catalog.find cat tname in
+               match Table.indexes table with
+               | [] -> ()
+               | ixs ->
+                 Printf.printf "  %s (%d rows)\n" tname (Table.row_count table);
+                 List.iter
+                   (fun ix ->
+                     Printf.printf "    %-24s %-6s on %-10s %8d entries\n"
+                       (Index.name ix)
+                       (Index.kind_to_string (Index.kind ix))
+                       (Index.column_name ix) (Index.entries ix))
+                   ixs)
+             (Catalog.table_names cat);
+           let hits, misses = Engine.plan_cache_stats engine in
+           let total = hits + misses in
+           Printf.printf "  plan cache: %d hits / %d misses%s\n" hits misses
+             (if total = 0 then ""
+              else
+                Printf.sprintf " (%.1f%% hit rate)"
+                  (100. *. float_of_int hits /. float_of_int total));
+           Printf.printf "  index probes: %d\n" !Executor.index_probes
          end
          else if line = ":checkpoint" then begin
            Engine.persist_checkpoint engine;
@@ -152,6 +180,20 @@ let run_repl noopt no_policies persist_dir persist_fsync =
              let sql = String.sub rest (i + 1) (String.length rest - i - 1) in
              let p = Engine.add_policy engine ~name sql in
              Format.printf "registered %a@." Policy.pp p
+         end
+         else if
+           (* DDL bypasses policy checking: statements aren't submissions. *)
+           match String.index_opt line ' ' with
+           | Some i ->
+             let w = String.lowercase_ascii (String.sub line 0 i) in
+             w = "create" || w = "drop"
+           | None -> false
+         then begin
+           match Dml.exec (Database.catalog db) (Parser.stmt line) with
+           | Dml.Created what -> Printf.printf "created %s\n" what
+           | Dml.Dropped what -> Printf.printf "dropped %s\n" what
+           | Dml.Affected n -> Printf.printf "%d rows affected\n" n
+           | Dml.Rows result -> print_endline (Database.render result)
          end
          else
            match Engine.submit engine ~uid:!uid line with

@@ -96,6 +96,34 @@ let wal_checkpoint_limit = 10_000
 
 let is_log' db rel = Catalog.is_log (Database.catalog db) rel
 
+(* Every policy/witness evaluation probes the log relations by [uid]
+   equality and [ts] windows (preemptive checks pin [ts = now]); declare
+   the matching indexes up front so the optimizer's access-path selection
+   makes those probes sublinear in log size. Index names are
+   deterministic ([dl_ix_<rel>_<col>]) and creation is idempotent, so
+   re-registration and recovery are safe. Recovery itself needs no
+   special casing: [apply_recovered] clears and bulk-loads the tables,
+   and both paths maintain declared indexes. *)
+let auto_index_log_relation db (g : Usage_log.generator) =
+  let cat = Database.catalog db in
+  match Catalog.find_opt cat g.Usage_log.relation with
+  | None -> ()
+  | Some table ->
+    let declare col kind =
+      match Schema.find_index (Table.schema table) col with
+      | None -> ()
+      | Some _ ->
+        let name =
+          Printf.sprintf "dl_ix_%s_%s" (lc g.Usage_log.relation) (lc col)
+        in
+        if not (Catalog.mem_index cat name) then
+          ignore
+            (Catalog.create_index cat ~name ~table:g.Usage_log.relation
+               ~column:col ~kind)
+    in
+    declare "ts" Index.Sorted;
+    declare "uid" Index.Hash
+
 (* Install the state recovered from the persistence directory: log
    relation contents, the clock, and the registered-policy set. The same
    generators must be registered as when the state was written — a
@@ -147,7 +175,8 @@ let create ?(config = default_config) ?(generators = Usage_log.standard)
   List.iter
     (fun g ->
       if not (Catalog.mem (Database.catalog db) g.Usage_log.relation) then
-        Usage_log.install_relation db g)
+        Usage_log.install_relation db g;
+      auto_index_log_relation db g)
     generators;
   let t =
     {
@@ -192,6 +221,7 @@ let set_config t config =
 let register_generator t (g : Usage_log.generator) =
   if not (Catalog.mem (Database.catalog t.db) g.Usage_log.relation) then
     Usage_log.install_relation t.db g;
+  auto_index_log_relation t.db g;
   t.generators <-
     List.sort (fun a b -> compare a.Usage_log.rank b.Usage_log.rank)
       (g :: t.generators);
@@ -600,9 +630,18 @@ let commit_logs t (sub : submission) (pl : plan) ~(now : int) =
           (fun rel sp ->
             let table = Database.table t.db rel in
             if List.mem rel pl.store_rels then begin
-              let rows = Table.rows_since table sp in
-              stats.Stats.rows_logged <- stats.Stats.rows_logged + List.length rows;
-              note_increment rel (List.map Row.cells rows);
+              (* Fold straight to the cells list: no intermediate
+                 [Row.t list] on the per-commit hot path. *)
+              let n = ref 0 in
+              let cells =
+                Table.fold_since
+                  (fun acc row ->
+                    incr n;
+                    Row.cells row :: acc)
+                  [] table sp
+              in
+              stats.Stats.rows_logged <- stats.Stats.rows_logged + !n;
+              note_increment rel (List.rev cells);
               Table.release table sp
             end
             else Table.rollback_to table sp)

@@ -57,10 +57,14 @@ let set_clock (db : Database.t) (t : int) =
 
 let current_time (db : Database.t) : int =
   let table = Database.table db clock_relation in
-  match Table.rows table with
-  | [ row ] -> (
+  (* Called on every evaluation/commit; read the single row in place
+     instead of materializing a list. *)
+  if Table.row_count table <> 1 then
+    Errors.runtime_error "clock relation must contain exactly one row";
+  match Seq.uncons (Table.to_seq table) with
+  | Some (row, _) -> (
     match Row.cell row 0 with Value.Int t -> t | _ -> 0)
-  | _ -> Errors.runtime_error "clock relation must contain exactly one row"
+  | None -> Errors.runtime_error "clock relation must contain exactly one row"
 
 (* users(ts, uid) --------------------------------------------------------- *)
 

@@ -74,6 +74,8 @@ type stmt =
   | Delete of { table : string; where : expr option }
   | Update of { table : string; sets : (string * expr) list; where : expr option }
   | Drop_table of { table : string; if_exists : bool }
+  | Create_index of { index : string; table : string; column : string; sorted : bool }
+  | Drop_index of { index : string; if_exists : bool }
 
 (* Constructors ----------------------------------------------------------- *)
 

@@ -68,6 +68,10 @@ type stmt =
   | Delete of { table : string; where : expr option }
   | Update of { table : string; sets : (string * expr) list; where : expr option }
   | Drop_table of { table : string; if_exists : bool }
+  | Create_index of { index : string; table : string; column : string; sorted : bool }
+      (** [CREATE INDEX index ON table [USING hash|sorted] (column)];
+          [sorted] selects the range-capable index shape. *)
+  | Drop_index of { index : string; if_exists : bool }
 
 (** A SELECT with no items, FROM, or clauses — the base for building
     rewritten queries (witnesses). *)

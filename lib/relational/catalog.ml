@@ -14,9 +14,16 @@ type table_kind =
 
 type entry = { table : Table.t; kind : table_kind }
 
-type t = { tables : (string, entry) Hashtbl.t; mutable generation : int }
+type t = {
+  tables : (string, entry) Hashtbl.t;
+  (* index name (lowercased) -> owning table key; index names are global
+     so DROP INDEX needs no table qualifier. *)
+  index_owner : (string, string) Hashtbl.t;
+  mutable generation : int;
+}
 
-let create () = { tables = Hashtbl.create 16; generation = 0 }
+let create () =
+  { tables = Hashtbl.create 16; index_owner = Hashtbl.create 16; generation = 0 }
 
 let generation t = t.generation
 
@@ -40,8 +47,12 @@ let create_table ?(kind = Base) t ~name ~schema =
 
 let drop t name =
   let k = key name in
-  if not (Hashtbl.mem t.tables k) then
-    Errors.catalog_error "no such table: %s" name;
+  (match Hashtbl.find_opt t.tables k with
+  | None -> Errors.catalog_error "no such table: %s" name
+  | Some e ->
+    List.iter
+      (fun ix -> Hashtbl.remove t.index_owner (key (Index.name ix)))
+      (Table.indexes e.table));
   Hashtbl.remove t.tables k;
   touch t
 
@@ -69,3 +80,28 @@ let log_table_names t =
     (fun _ e acc -> if e.kind = Log then Table.name e.table :: acc else acc)
     t.tables []
   |> List.sort String.compare
+
+(* Indexes ----------------------------------------------------------------- *)
+
+let mem_index t iname = Hashtbl.mem t.index_owner (key iname)
+
+let create_index t ~name ~table ~column ~kind =
+  if mem_index t name then Errors.catalog_error "index %s already exists" name;
+  let tbl = find t table in
+  let ix = Table.create_index tbl ~name ~column ~kind in
+  Hashtbl.replace t.index_owner (key name) (key table);
+  (* Compiled plans may now have a better access path (or, for a rebuilt
+     plan, capture the index handle) — invalidate the prepared cache. *)
+  touch t;
+  ix
+
+let drop_index ?(if_exists = false) t iname =
+  match Hashtbl.find_opt t.index_owner (key iname) with
+  | None ->
+    if not if_exists then Errors.catalog_error "no such index: %s" iname
+  | Some tkey ->
+    (match Hashtbl.find_opt t.tables tkey with
+    | Some e -> Table.drop_index e.table iname
+    | None -> ());
+    Hashtbl.remove t.index_owner (key iname);
+    touch t

@@ -52,3 +52,22 @@ val table_names : t -> string list
 
 (** Names of [Log]-kind tables, sorted. *)
 val log_table_names : t -> string list
+
+(** {1 Index manager}
+
+    Index names are global (no table qualifier on [DROP INDEX]). Creating
+    or dropping an index bumps {!generation}, so prepared plans compiled
+    against the old access paths are invalidated. *)
+
+(** Case-insensitive: is there an index with this name anywhere? *)
+val mem_index : t -> string -> bool
+
+(** Create an index on [table].[column] and build it from current rows.
+    @raise Errors.Sql_error if the name is taken, the table is absent or
+    the column unknown. *)
+val create_index :
+  t -> name:string -> table:string -> column:string -> kind:Index.kind -> Index.t
+
+(** Drop an index by name. @raise Errors.Sql_error if absent, unless
+    [if_exists]. *)
+val drop_index : ?if_exists:bool -> t -> string -> unit

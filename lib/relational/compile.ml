@@ -26,8 +26,11 @@ type arow = {
   src : (int * int) list;  (** (FROM-slot index, tid) pairs *)
 }
 
-(* Statistics hook: count of rows examined, for tests and benchmarks. *)
+(* Statistics hooks: rows examined by joins and index probes executed,
+   for tests and benchmarks. *)
 let rows_examined = ref 0
+
+let index_probes = ref 0
 
 let note_rows n = rows_examined := !rows_examined + n
 
@@ -423,24 +426,65 @@ and compile_select (cat : Catalog.t) (opts : opts) (sp : Plan.select_plan) : t =
     Array.mapi
       (fun idx (slot : Plan.slot) ->
         match slot.Plan.source with
-        | Plan.Scan name ->
+        | Plan.Scan (name, access) -> (
           let table = Catalog.find cat name in
           let tname = Table.name table in
-          fun () ->
-            let rows =
-              Table.fold
-                (fun acc row ->
-                  let lin =
-                    if opts.lineage then Lineage.singleton tname (Row.tid row)
-                    else Lineage.off
-                  in
-                  let src =
-                    if opts.track_src then [ (idx, Row.tid row) ] else []
-                  in
-                  { vals = Row.cells row; lin; src } :: acc)
-                [] table
+          (* All access paths annotate identically: index probes return
+             rows in tid order, which is heap scan order, so lineage and
+             source tids are bit-for-bit those of the heap path. *)
+          let annotate row =
+            let lin =
+              if opts.lineage then Lineage.singleton tname (Row.tid row)
+              else Lineage.off
             in
-            List.rev rows
+            let src = if opts.track_src then [ (idx, Row.tid row) ] else [] in
+            { vals = Row.cells row; lin; src }
+          in
+          match access with
+          | Plan.Heap ->
+            fun () ->
+              let rows =
+                Table.fold (fun acc row -> annotate row :: acc) [] table
+              in
+              List.rev rows
+          | Plan.Index_eq { index; key } ->
+            let ix =
+              match Table.find_index table index with
+              | Some ix -> ix
+              | None ->
+                Errors.catalog_error "no index %s on table %s" index tname
+            in
+            let ckey = compile_expr key in
+            fun () ->
+              incr index_probes;
+              let v = ckey [||] [||] in
+              (* [col = NULL] matches nothing. *)
+              if Value.is_null v then []
+              else List.map annotate (Table.index_lookup table ix v)
+          | Plan.Index_range { index; lo; hi } ->
+            let ix =
+              match Table.find_index table index with
+              | Some ix -> ix
+              | None ->
+                Errors.catalog_error "no index %s on table %s" index tname
+            in
+            let cbound =
+              Option.map (fun (p, incl) -> (compile_expr p, incl))
+            in
+            let clo = cbound lo and chi = cbound hi in
+            fun () ->
+              incr index_probes;
+              let eval = Option.map (fun (c, incl) -> (c [||] [||], incl)) in
+              let lo = eval clo and hi = eval chi in
+              (* A NULL bound makes the comparison false for every row. *)
+              let null_bound =
+                match lo, hi with
+                | Some (v, _), _ when Value.is_null v -> true
+                | _, Some (v, _) when Value.is_null v -> true
+                | _ -> false
+              in
+              if null_bound then []
+              else List.map annotate (Table.index_range table ix ?lo ?hi ()))
         | Plan.Sub q ->
           (* Lineage flows through subqueries; source tids do not
              (witness queries are always built over flat FROM lists). *)

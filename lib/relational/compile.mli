@@ -18,6 +18,10 @@ type arow = { vals : Value.t array; lin : Lineage.t; src : (int * int) list }
     statistics hook for tests and benchmarks. *)
 val rows_examined : int ref
 
+(** Index probes executed (one per [Index_eq]/[Index_range] scan
+    execution); a statistics hook for tests and benchmarks. *)
+val index_probes : int ref
+
 (** A compiled scalar closure over (row values, computed aggregates). *)
 type cexpr = Value.t array -> Value.t array -> Value.t
 

@@ -60,6 +60,13 @@ let exec (cat : Catalog.t) (stmt : Ast.stmt) : outcome =
     end
     else if if_exists then Dropped table
     else Errors.catalog_error "no such table: %s" table
+  | Ast.Create_index { index; table; column; sorted } ->
+    let kind = if sorted then Index.Sorted else Index.Hash in
+    ignore (Catalog.create_index cat ~name:index ~table ~column ~kind);
+    Created index
+  | Ast.Drop_index { index; if_exists } ->
+    Catalog.drop_index ~if_exists cat index;
+    Dropped index
   | Ast.Insert { table; columns; rows } ->
     let t = Catalog.find cat table in
     List.iter (fun exprs -> ignore (Table.insert t (arrange_cells t columns exprs))) rows;

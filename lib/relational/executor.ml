@@ -25,7 +25,7 @@ type result = { columns : string list; out_rows : row_out list }
 type compiled = Compile.t
 
 let prepare ?(opts = default_opts) (cat : Catalog.t) (q : Ast.query) : compiled =
-  Compile.compile cat opts (Optimizer.optimize (Plan.of_query cat q))
+  Compile.compile cat opts (Optimizer.optimize cat (Plan.of_query cat q))
 
 let prepare_unoptimized ?(opts = default_opts) (cat : Catalog.t) (q : Ast.query)
     : compiled =
@@ -56,3 +56,5 @@ let run_sql ?opts cat sql = run ?opts cat (Parser.query sql)
 let is_empty ?opts cat q = (run ?opts cat q).out_rows = []
 
 let rows_examined = Compile.rows_examined
+
+let index_probes = Compile.index_probes

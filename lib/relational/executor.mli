@@ -58,3 +58,6 @@ val is_empty : ?opts:opts -> Catalog.t -> Ast.query -> bool
 (** Cumulative count of rows examined by join operators, for tests and
     benchmarks. *)
 val rows_examined : int ref
+
+(** Cumulative count of index probes executed by compiled access paths. *)
+val index_probes : int ref

@@ -1,0 +1,167 @@
+(** Maintained secondary indexes.
+
+    An index maps the value of one column to the tuple ids of the rows
+    holding that value. Two physical shapes exist:
+
+    - [Hash] — a hashtable keyed on {!Value.canonical_key}, supporting
+      equality lookups only;
+    - [Sorted] — a balanced map ordered by {!Value.compare}, supporting
+      equality lookups and range scans.
+
+    Entry semantics follow {!Value.equal}: [Null] keys are stored (under
+    their own key) and integral floats collapse onto the matching int, so
+    a lookup returns exactly the rows whose cell is [Value.equal] to the
+    probe. SQL's NULL comparison rules (a predicate involving NULL is
+    false) are the {e caller's} concern: the compiled access path gates
+    NULL probes and range scans skip the [Null] key.
+
+    Indexes store tids, not rows: the owning {!Table} resolves tids back
+    to rows (rows are tid-sorted, so sorting the result reproduces heap
+    scan order exactly). Maintenance — [add] on insert, [remove] on
+    delete/compaction/update/rollback — is driven by the table; this
+    module never sees the heap. *)
+
+type kind = Hash | Sorted
+
+module VMap = Map.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+type store =
+  | H of (string, int list ref) Hashtbl.t
+  | S of int list VMap.t ref
+
+type t = {
+  name : string;
+  column : int;
+  column_name : string;
+  kind : kind;
+  store : store;
+  mutable entries : int;
+}
+
+let create ~name ~column ~column_name kind =
+  let store =
+    match kind with
+    | Hash -> H (Hashtbl.create 64)
+    | Sorted -> S (ref VMap.empty)
+  in
+  { name; column; column_name; kind; store; entries = 0 }
+
+let name t = t.name
+
+let column t = t.column
+
+let column_name t = t.column_name
+
+let kind t = t.kind
+
+let entries t = t.entries
+
+let kind_to_string = function Hash -> "hash" | Sorted -> "sorted"
+
+(* Maintenance ------------------------------------------------------------- *)
+
+(* New tids are prepended: rollback removes the most recently inserted
+   tids first, so the common removal is from the bucket head. *)
+let add t (v : Value.t) (tid : int) =
+  (match t.store with
+  | H tbl -> (
+    let k = Value.canonical_key v in
+    match Hashtbl.find_opt tbl k with
+    | Some cell -> cell := tid :: !cell
+    | None -> Hashtbl.replace tbl k (ref [ tid ]))
+  | S map -> (
+    match VMap.find_opt v !map with
+    | Some tids -> map := VMap.add v (tid :: tids) !map
+    | None -> map := VMap.add v [ tid ] !map));
+  t.entries <- t.entries + 1
+
+let drop_tid tid tids = List.filter (fun t -> t <> tid) tids
+
+let remove t (v : Value.t) (tid : int) =
+  (match t.store with
+  | H tbl -> (
+    let k = Value.canonical_key v in
+    match Hashtbl.find_opt tbl k with
+    | None -> ()
+    | Some cell -> (
+      match drop_tid tid !cell with
+      | [] -> Hashtbl.remove tbl k
+      | tids -> cell := tids))
+  | S map -> (
+    match VMap.find_opt v !map with
+    | None -> ()
+    | Some tids -> (
+      match drop_tid tid tids with
+      | [] -> map := VMap.remove v !map
+      | tids -> map := VMap.add v tids !map)));
+  t.entries <- max 0 (t.entries - 1)
+
+let clear t =
+  (match t.store with
+  | H tbl -> Hashtbl.reset tbl
+  | S map -> map := VMap.empty);
+  t.entries <- 0
+
+(* Lookups ----------------------------------------------------------------- *)
+
+(* Tids whose cell is [Value.equal] to [v]; unsorted. *)
+let lookup t (v : Value.t) : int list =
+  match t.store with
+  | H tbl -> (
+    match Hashtbl.find_opt tbl (Value.canonical_key v) with
+    | Some cell -> !cell
+    | None -> [])
+  | S map -> ( match VMap.find_opt v !map with Some tids -> tids | None -> [])
+
+type bound = Value.t * bool  (** value, inclusive? *)
+
+(* Tids whose (non-Null) cell lies within the bounds under
+   {!Value.compare}; unsorted. Rows keyed [Null] are always excluded —
+   every SQL comparison against NULL is false. *)
+let range t ?(lo : bound option) ?(hi : bound option) () : int list =
+  match t.store with
+  | H _ ->
+    Errors.runtime_error "index %s is a hash index and cannot serve ranges"
+      t.name
+  | S map ->
+    let above v =
+      match lo with
+      | None -> true
+      | Some (b, incl) ->
+        let c = Value.compare v b in
+        if incl then c >= 0 else c > 0
+    in
+    let below v =
+      match hi with
+      | None -> true
+      | Some (b, incl) ->
+        let c = Value.compare v b in
+        if incl then c <= 0 else c < 0
+    in
+    (* Seek to the lower bound, then walk upward until past the upper. *)
+    let seq =
+      match lo with
+      | Some (b, _) -> VMap.to_seq_from b !map
+      | None -> VMap.to_seq !map
+    in
+    let out = ref [] in
+    let rec walk s =
+      match s () with
+      | Seq.Nil -> ()
+      | Seq.Cons ((v, tids), rest) ->
+        if not (below v) then () (* keys ascend: nothing further matches *)
+        else begin
+          if (not (Value.is_null v)) && above v then out := tids :: !out;
+          walk rest
+        end
+    in
+    walk seq;
+    List.concat !out
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%s on %s, %d entries)" t.name (kind_to_string t.kind)
+    t.column_name t.entries

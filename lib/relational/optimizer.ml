@@ -166,19 +166,119 @@ let iter_finish fn (f : Plan.finish) : unit =
   | Plan.D_on keys -> List.iter fn keys
   | _ -> ()
 
-let rec optimize (q : Plan.query) : Plan.query =
+(* Access-path selection helper: given a scan's pushed-down conjuncts
+   (slot-local, i.e. [Field i] is table column [i]), pick an index probe
+   and return it with the conjuncts left over as ordinary filters.
+
+   The first [col = const] conjunct over an indexed column wins (hash
+   preferred, sorted serves equality too); failing that, every range
+   conjunct ([</<=/>/>=] against a constant) over the first sorted-indexed
+   column is folded into one [Index_range] whose bounds are the tightest
+   combination. NULL constants are ineligible: the comparison is false
+   for every row, and leaving the conjunct as a filter preserves that. *)
+let select_access (table : Table.t) (preds : Plan.pexpr list) :
+    (Plan.access * Plan.pexpr list) option =
+  let index_for col ~range =
+    let candidates = Table.index_on table ~column:col in
+    if range then List.find_opt (fun ix -> Index.kind ix = Index.Sorted) candidates
+    else
+      match List.find_opt (fun ix -> Index.kind ix = Index.Hash) candidates with
+      | Some ix -> Some ix
+      | None -> List.nth_opt candidates 0
+  in
+  let eq_probe = function
+    | Plan.Binop (Ast.Eq, Plan.Field i, (Plan.Const v as k))
+    | Plan.Binop (Ast.Eq, (Plan.Const v as k), Plan.Field i)
+      when not (Value.is_null v) -> (
+      match index_for i ~range:false with
+      | Some ix -> Some (Plan.Index_eq { index = Index.name ix; key = k })
+      | None -> None)
+    | _ -> None
+  in
+  let rec split_eq before = function
+    | [] -> None
+    | p :: rest -> (
+      match eq_probe p with
+      | Some access -> Some (access, List.rev_append before rest)
+      | None -> split_eq (p :: before) rest)
+  in
+  match split_eq [] preds with
+  | Some r -> Some r
+  | None ->
+    let bound_of = function
+      | Plan.Binop (op, Plan.Field i, Plan.Const v) when not (Value.is_null v) -> (
+        match op with
+        | Ast.Lt -> Some (i, `Hi (v, false))
+        | Ast.Le -> Some (i, `Hi (v, true))
+        | Ast.Gt -> Some (i, `Lo (v, false))
+        | Ast.Ge -> Some (i, `Lo (v, true))
+        | _ -> None)
+      | Plan.Binop (op, Plan.Const v, Plan.Field i) when not (Value.is_null v) -> (
+        match op with
+        | Ast.Lt -> Some (i, `Lo (v, false))
+        | Ast.Le -> Some (i, `Lo (v, true))
+        | Ast.Gt -> Some (i, `Hi (v, false))
+        | Ast.Ge -> Some (i, `Hi (v, true))
+        | _ -> None)
+      | _ -> None
+    in
+    let target =
+      List.find_map
+        (fun p ->
+          match bound_of p with
+          | Some (i, _) when index_for i ~range:true <> None -> Some i
+          | _ -> None)
+        preds
+    in
+    (match target with
+    | None -> None
+    | Some col ->
+      let ix = Option.get (index_for col ~range:true) in
+      let lo = ref None and hi = ref None in
+      (* Tightest bound wins; on equal values an exclusive bound is
+         tighter than an inclusive one. *)
+      let tighter_lo (v, incl) =
+        match !lo with
+        | None -> lo := Some (v, incl)
+        | Some (v0, i0) ->
+          let c = Value.compare v v0 in
+          if c > 0 || (c = 0 && i0 && not incl) then lo := Some (v, incl)
+      in
+      let tighter_hi (v, incl) =
+        match !hi with
+        | None -> hi := Some (v, incl)
+        | Some (v0, i0) ->
+          let c = Value.compare v v0 in
+          if c < 0 || (c = 0 && i0 && not incl) then hi := Some (v, incl)
+      in
+      let remaining =
+        List.filter
+          (fun p ->
+            match bound_of p with
+            | Some (i, b) when i = col ->
+              (match b with `Lo b -> tighter_lo b | `Hi b -> tighter_hi b);
+              false
+            | _ -> true)
+          preds
+      in
+      let wrap = Option.map (fun (v, incl) -> (Plan.Const v, incl)) in
+      Some
+        ( Plan.Index_range { index = Index.name ix; lo = wrap !lo; hi = wrap !hi },
+          remaining ))
+
+let rec optimize (cat : Catalog.t) (q : Plan.query) : Plan.query =
   match q with
   | Plan.Union { all; left; right } ->
-    Plan.Union { all; left = optimize left; right = optimize right }
-  | Plan.Select sp -> Plan.Select (optimize_select sp)
+    Plan.Union { all; left = optimize cat left; right = optimize cat right }
+  | Plan.Select sp -> Plan.Select (optimize_select cat sp)
 
-and optimize_select (sp : Plan.select_plan) : Plan.select_plan =
+and optimize_select (cat : Catalog.t) (sp : Plan.select_plan) : Plan.select_plan =
   let slots =
     Array.map
       (fun (sl : Plan.slot) ->
         match sl.Plan.source with
         | Plan.Scan _ -> sl
-        | Plan.Sub q -> { sl with Plan.source = Plan.Sub (optimize q) })
+        | Plan.Sub q -> { sl with Plan.source = Plan.Sub (optimize cat q) })
       sp.Plan.slots
   in
   let nslots = Array.length slots in
@@ -233,6 +333,26 @@ and optimize_select (sp : Plan.select_plan) : Plan.select_plan =
   in
   let scan_preds =
     if nslots = 0 then sp.Plan.scan_preds else Array.sub scan_preds 0 nslots
+  in
+  (* Access-path selection: pushed-down conjuncts hitting an indexed
+     column turn the heap scan into an index probe; the consumed conjuncts
+     disappear from [scan_preds], the rest stay as filters over the
+     probe's result. *)
+  let slots =
+    Array.mapi
+      (fun si (sl : Plan.slot) ->
+        match sl.Plan.source with
+        | Plan.Scan (tname, Plan.Heap) when scan_preds.(si) <> [] -> (
+          match Catalog.find_opt cat tname with
+          | None -> sl
+          | Some table -> (
+            match select_access table scan_preds.(si) with
+            | None -> sl
+            | Some (access, remaining) ->
+              scan_preds.(si) <- remaining;
+              { sl with Plan.source = Plan.Scan (tname, access) }))
+        | _ -> sl)
+      slots
   in
   (* Projection pruning: only worthwhile across joins — single-slot scans
      share their cell arrays with the table, and projecting would copy

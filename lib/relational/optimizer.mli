@@ -1,8 +1,11 @@
 (** Plan rewrites: constant folding, predicate pushdown into scans,
-    equi-join-key extraction, and projection pruning across joins.
+    equi-join-key extraction, access-path selection against the catalog's
+    declared indexes, and projection pruning across joins.
 
     Semantics-preserving: output rows, lineage, and source tids are
     identical to compiling the binder's naive plan directly (checked by
-    the differential property test). *)
+    the differential property test). The catalog is consulted for index
+    metadata only; compiled plans must still be invalidated (via
+    {!Catalog.generation}) when indexes change. *)
 
-val optimize : Plan.query -> Plan.query
+val optimize : Catalog.t -> Plan.query -> Plan.query

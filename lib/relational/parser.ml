@@ -509,8 +509,29 @@ and looks_like_parenthesized_query p =
 
 (* Statements ---------------------------------------------------------------- *)
 
+(* CREATE INDEX name ON table [USING hash|sorted|btree|range] (column).
+   Defaults to hash; btree/range are accepted as aliases for sorted. *)
+let parse_create_index p =
+  expect_kw p "index";
+  let index = parse_ident p in
+  expect_kw p "on";
+  let table = parse_ident p in
+  let sorted =
+    if accept_kw p "using" then begin
+      let kind = parse_ident p in
+      match String.lowercase_ascii kind with
+      | "hash" -> false
+      | "sorted" | "btree" | "range" -> true
+      | k -> error p "unknown index kind %S (expected hash or sorted)" k
+    end
+    else false
+  in
+  expect p Token.Lparen;
+  let column = parse_ident p in
+  expect p Token.Rparen;
+  Ast.Create_index { index; table; column; sorted }
+
 let parse_create_table p =
-  expect_kw p "create";
   expect_kw p "table";
   let table = parse_ident p in
   expect p Token.Lparen;
@@ -544,6 +565,10 @@ let parse_create_table p =
   let columns = cols [] in
   expect p Token.Rparen;
   Ast.Create_table { table; columns }
+
+let parse_create p =
+  expect_kw p "create";
+  if is_kw p "index" then parse_create_index p else parse_create_table p
 
 let parse_insert p =
   expect_kw p "insert";
@@ -618,7 +643,13 @@ let parse_update p =
 
 let parse_drop p =
   expect_kw p "drop";
-  expect_kw p "table";
+  let is_index =
+    if accept_kw p "index" then true
+    else begin
+      expect_kw p "table";
+      false
+    end
+  in
   let if_exists =
     if accept_kw p "if" then begin
       expect_kw p "exists";
@@ -626,8 +657,9 @@ let parse_drop p =
     end
     else false
   in
-  let table = parse_ident p in
-  Ast.Drop_table { table; if_exists }
+  let name = parse_ident p in
+  if is_index then Ast.Drop_index { index = name; if_exists }
+  else Ast.Drop_table { table = name; if_exists }
 
 let parse_stmt_inner p =
   match cur p with
@@ -635,7 +667,7 @@ let parse_stmt_inner p =
     match String.lowercase_ascii s with
     | "select" -> Ast.Query (parse_query p)
     | "insert" -> parse_insert p
-    | "create" -> parse_create_table p
+    | "create" -> parse_create p
     | "delete" -> parse_delete p
     | "update" -> parse_update p
     | "drop" -> parse_drop p

@@ -36,7 +36,24 @@ type pexpr =
   | Fn of string * pexpr list
   | Case of (pexpr * pexpr) list * pexpr option
 
-type source = Scan of string  (** base table, by catalog name *) | Sub of query
+(** How a base-table scan reaches its rows. [Heap] walks the whole table;
+    the index paths probe a declared {!Index} and are selected by the
+    optimizer from pushed-down predicates. Key and bound expressions are
+    slot-free ([Const]-only after constant folding) and evaluate once per
+    execution; a NULL key or bound yields no rows (SQL comparison
+    semantics). *)
+type access =
+  | Heap
+  | Index_eq of { index : string; key : pexpr }
+  | Index_range of {
+      index : string;
+      lo : (pexpr * bool) option;  (** bound, inclusive? *)
+      hi : (pexpr * bool) option;
+    }
+
+type source =
+  | Scan of string * access  (** base table, by catalog name *)
+  | Sub of query
 
 and slot = {
   alias : string;  (** lowercased effective alias *)
@@ -244,7 +261,7 @@ and of_select (cat : Catalog.t) (s : Ast.select) : select_plan =
                alias =
                  String.lowercase_ascii (Option.value alias ~default:name);
                cols;
-               source = Scan name;
+               source = Scan (name, Heap);
                keep = identity (Array.length cols);
              }
            | Ast.From_subquery { query; alias } ->

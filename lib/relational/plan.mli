@@ -29,7 +29,22 @@ type pexpr =
   | Fn of string * pexpr list
   | Case of (pexpr * pexpr) list * pexpr option
 
-type source = Scan of string  (** base table, by catalog name *) | Sub of query
+(** How a base-table scan reaches its rows. [Heap] walks the whole table;
+    the index paths probe a declared {!Index}, selected by the optimizer
+    from pushed-down predicates. Key/bound expressions are slot-free; a
+    NULL key or bound yields no rows (SQL comparison semantics). *)
+type access =
+  | Heap
+  | Index_eq of { index : string; key : pexpr }
+  | Index_range of {
+      index : string;
+      lo : (pexpr * bool) option;  (** bound, inclusive? *)
+      hi : (pexpr * bool) option;
+    }
+
+type source =
+  | Scan of string * access  (** base table, by catalog name *)
+  | Sub of query
 
 and slot = {
   alias : string;  (** lowercased effective alias *)

@@ -165,3 +165,9 @@ let stmt = function
       (match where with None -> "" | Some w -> " WHERE " ^ expr w)
   | Ast.Drop_table { table; if_exists } ->
     Printf.sprintf "DROP TABLE %s%s" (if if_exists then "IF EXISTS " else "") table
+  | Ast.Create_index { index; table; column; sorted } ->
+    Printf.sprintf "CREATE INDEX %s ON %s USING %s (%s)" index table
+      (if sorted then "sorted" else "hash")
+      column
+  | Ast.Drop_index { index; if_exists } ->
+    Printf.sprintf "DROP INDEX %s%s" (if if_exists then "IF EXISTS " else "") index

@@ -1,4 +1,4 @@
-(** Heap tables.
+(** Heap tables with maintained secondary indexes.
 
     A table stores rows in insertion order in a growable vector. Each row
     receives a monotonically increasing tuple id. Tables support:
@@ -11,9 +11,11 @@
       truncates to it. Taking a savepoint freezes deletions until it is
       released, enforced with [in_txn].
 
-    Tables are deliberately unindexed; the executor builds transient hash
-    indexes per query, which matches the ad-hoc nature of policy and
-    witness queries. *)
+    Any column may carry declared secondary indexes ({!Index}); every
+    mutation path — [insert], [bulk_load], [delete_where], [retain_tids],
+    [update_where], [rollback_to], [clear] — keeps them exactly
+    consistent with the heap. Index lookups return rows in tid order,
+    which (rows being tid-sorted by construction) is heap scan order. *)
 
 type t = {
   name : string;
@@ -21,12 +23,24 @@ type t = {
   rows : Row.t Vec.t;
   mutable next_tid : int;
   mutable in_txn : bool;
+  mutable indexes : Index.t list;
 }
+
+(* Extra consistency checks (tid monotonicity on insert); off by default,
+   enabled by the test suite. *)
+let debug_checks = ref false
 
 let dummy_row = Row.make ~tid:(-1) [||]
 
 let create ~name ~schema =
-  { name; schema; rows = Vec.create ~dummy:dummy_row (); next_tid = 0; in_txn = false }
+  {
+    name;
+    schema;
+    rows = Vec.create ~dummy:dummy_row ();
+    next_tid = 0;
+    in_txn = false;
+    indexes = [];
+  }
 
 let name t = t.name
 
@@ -56,12 +70,31 @@ let check_cells t cells =
             (Ty.to_string ty) (Value.to_string v))
     cells
 
+(* Index maintenance hooks ------------------------------------------------- *)
+
+let index_add t (row : Row.t) =
+  List.iter
+    (fun ix -> Index.add ix (Row.cell row (Index.column ix)) (Row.tid row))
+    t.indexes
+
+let index_remove t (row : Row.t) =
+  List.iter
+    (fun ix -> Index.remove ix (Row.cell row (Index.column ix)) (Row.tid row))
+    t.indexes
+
 (* Insert a row; returns its tuple id. *)
 let insert t cells =
   check_cells t cells;
   let tid = t.next_tid in
   t.next_tid <- tid + 1;
-  Vec.push t.rows (Row.make ~tid cells);
+  (* Invariant: rows are tid-sorted (see [find_by_tid] and the index
+     access paths). [next_tid] only grows, so appends preserve it; the
+     assert guards any future bulk path that constructs rows directly. *)
+  if !debug_checks && Vec.length t.rows > 0 then
+    assert (Row.tid (Vec.get t.rows (Vec.length t.rows - 1)) < tid);
+  let row = Row.make ~tid cells in
+  Vec.push t.rows row;
+  index_add t row;
   tid
 
 let iter f t = Vec.iter f t.rows
@@ -77,7 +110,8 @@ let to_seq t =
   aux 0
 
 let find_by_tid t tid =
-  (* Rows are sorted by tid (append-only ids), so binary search works. *)
+  (* Rows are sorted by tid (append-only ids; asserted in [insert] under
+     [debug_checks]), so binary search works. *)
   let n = Vec.length t.rows in
   let rec go lo hi =
     if lo >= hi then None
@@ -90,6 +124,45 @@ let find_by_tid t tid =
   in
   go 0 n
 
+(* Indexes ----------------------------------------------------------------- *)
+
+let indexes t = t.indexes
+
+let find_index t iname =
+  let l = String.lowercase_ascii iname in
+  List.find_opt (fun ix -> String.lowercase_ascii (Index.name ix) = l) t.indexes
+
+let index_on t ~column =
+  List.filter (fun ix -> Index.column ix = column) t.indexes
+
+let create_index t ~name ~column ~kind =
+  (match find_index t name with
+  | Some _ -> Errors.catalog_error "index %s already exists on %s" name t.name
+  | None -> ());
+  let col =
+    match Schema.find_index t.schema column with
+    | Some i -> i
+    | None -> Errors.bind_error "no column %S in table %s" column t.name
+  in
+  let column_name = (Schema.column t.schema col).Schema.name in
+  let ix = Index.create ~name ~column:col ~column_name kind in
+  Vec.iter (fun row -> Index.add ix (Row.cell row col) (Row.tid row)) t.rows;
+  t.indexes <- t.indexes @ [ ix ];
+  ix
+
+let drop_index t iname =
+  match find_index t iname with
+  | None -> Errors.catalog_error "no index %s on table %s" iname t.name
+  | Some ix -> t.indexes <- List.filter (fun i -> i != ix) t.indexes
+
+(* Fetch the rows behind an index probe, in tid (= heap scan) order. *)
+let rows_of_tids t tids =
+  List.filter_map (find_by_tid t) (List.sort_uniq compare tids)
+
+let index_lookup t ix v = rows_of_tids t (Index.lookup ix v)
+
+let index_range t ix ?lo ?hi () = rows_of_tids t (Index.range ix ?lo ?hi ())
+
 (* Deletion --------------------------------------------------------------- *)
 
 let guard_no_txn t op =
@@ -100,17 +173,25 @@ let bulk_load t rows =
   guard_no_txn t "bulk_load";
   List.iter (fun cells -> ignore (insert t cells)) rows
 
+(* Keep rows satisfying [keep_row], unhooking the dropped ones from every
+   index; returns the number removed. *)
+let filter_rows t keep_row =
+  if t.indexes <> [] then
+    Vec.iter (fun r -> if not (keep_row r) then index_remove t r) t.rows;
+  Vec.filter_in_place keep_row t.rows
+
 (* Delete all rows whose tid is NOT in [keep]; returns number removed. *)
 let retain_tids t keep =
   guard_no_txn t "retain_tids";
-  Vec.filter_in_place (fun r -> Hashtbl.mem keep (Row.tid r)) t.rows
+  filter_rows t (fun r -> Hashtbl.mem keep (Row.tid r))
 
 let delete_where t pred =
   guard_no_txn t "delete_where";
-  Vec.filter_in_place (fun r -> not (pred r)) t.rows
+  filter_rows t (fun r -> not (pred r))
 
 let clear t =
   guard_no_txn t "clear";
+  List.iter Index.clear t.indexes;
   Vec.clear t.rows
 
 (* Update ----------------------------------------------------------------- *)
@@ -123,7 +204,10 @@ let update_where t pred f =
       if pred r then begin
         let cells = f (Row.cells r) in
         check_cells t cells;
-        Vec.set t.rows i (Row.make ~tid:(Row.tid r) cells);
+        let row' = Row.make ~tid:(Row.tid r) cells in
+        index_remove t r;
+        Vec.set t.rows i row';
+        index_add t row';
         incr n
       end)
     t.rows;
@@ -139,6 +223,10 @@ let savepoint t : savepoint =
 
 let rollback_to t (sp : savepoint) =
   t.in_txn <- false;
+  if t.indexes <> [] then
+    for i = Vec.length t.rows - 1 downto sp do
+      index_remove t (Vec.get t.rows i)
+    done;
   Vec.truncate t.rows sp
 
 let release t (_sp : savepoint) = t.in_txn <- false
@@ -150,6 +238,18 @@ let rows_since t (sp : savepoint) =
     out := Vec.get t.rows i :: !out
   done;
   !out
+
+let iter_since f t (sp : savepoint) =
+  for i = sp to Vec.length t.rows - 1 do
+    f (Vec.get t.rows i)
+  done
+
+let fold_since f init t (sp : savepoint) =
+  let acc = ref init in
+  for i = sp to Vec.length t.rows - 1 do
+    acc := f !acc (Vec.get t.rows i)
+  done;
+  !acc
 
 let pp ppf t =
   Format.fprintf ppf "%s%a [%d rows]" t.name Schema.pp t.schema (row_count t)

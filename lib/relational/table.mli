@@ -1,19 +1,34 @@
-(** Heap tables.
+(** Heap tables with maintained secondary indexes.
 
     Rows live in insertion order in a growable vector; every row gets a
     monotonically increasing tuple id. Tables support appends (with type
     checking against the schema), predicate/tid-set deletion (DML and log
     compaction) and savepoints.
 
+    {b Invariant: rows are sorted by tid.} Tuple ids are handed out by a
+    monotone counter and rows are only ever appended, so the heap vector
+    is tid-ascending at all times. {!find_by_tid} (binary search) and the
+    index access paths (which fetch tid-sorted probe results to reproduce
+    heap scan order) both rely on this. Any future bulk path that
+    constructs rows directly must preserve it; {!insert} asserts
+    monotonicity when {!debug_checks} is set.
+
     A savepoint captures the current row count; since mutation between a
     savepoint and its resolution is append-only in the DataLawyer engine
     (tentative log increments), rollback is a truncation. Deletions and
     updates are rejected while a savepoint is outstanding.
 
-    Tables are unindexed; the executor builds transient hash indexes per
-    query, matching the ad-hoc shape of policy and witness queries. *)
+    Columns may carry declared secondary indexes ({!Index}): hash for
+    equality, sorted for ranges. Every mutation path — [insert],
+    [bulk_load], [delete_where], [retain_tids], [update_where],
+    [rollback_to], [clear] — keeps them exactly consistent with the
+    heap. *)
 
 type t
+
+(** When set, {!insert} asserts the tid-monotonicity invariant on every
+    append. Enabled by the test suite; off by default. *)
+val debug_checks : bool ref
 
 val create : name:string -> schema:Schema.t -> t
 val name : t -> string
@@ -33,11 +48,43 @@ val rows : t -> Row.t list
 val to_seq : t -> Row.t Seq.t
 
 (** Append many rows (recovery bulk load); each row is type-checked like
-    {!insert}. @raise Errors.Sql_error inside a savepoint. *)
+    {!insert} and all indexes are maintained.
+    @raise Errors.Sql_error inside a savepoint. *)
 val bulk_load : t -> Value.t array list -> unit
 
-(** Binary search by tuple id (rows are sorted by tid by construction). *)
+(** Binary search by tuple id (rows are sorted by tid — see the module
+    invariant above). *)
 val find_by_tid : t -> int -> Row.t option
+
+(** {1 Secondary indexes} *)
+
+(** Declared indexes, in creation order. *)
+val indexes : t -> Index.t list
+
+(** Find an index by (case-insensitive) name. *)
+val find_index : t -> string -> Index.t option
+
+(** Indexes declared on the given column position. *)
+val index_on : t -> column:int -> Index.t list
+
+(** Declare an index on a column (by name) and build it from the current
+    rows. Returns the new index.
+    @raise Errors.Sql_error if the name is taken or the column unknown. *)
+val create_index : t -> name:string -> column:string -> kind:Index.kind -> Index.t
+
+(** Remove an index by name. @raise Errors.Sql_error if absent. *)
+val drop_index : t -> string -> unit
+
+(** Rows whose indexed cell is {!Value.equal} to the probe value, in tid
+    (= heap scan) order. NULL-probe gating is the caller's concern. *)
+val index_lookup : t -> Index.t -> Value.t -> Row.t list
+
+(** Rows whose indexed cell lies within the bounds (see {!Index.range}),
+    in tid order. @raise Errors.Sql_error on a hash index. *)
+val index_range :
+  t -> Index.t -> ?lo:Index.bound -> ?hi:Index.bound -> unit -> Row.t list
+
+(** {1 Deletion and update} *)
 
 (** Delete all rows whose tid is {e not} in the given set; returns the
     number removed. Used by log compaction's delete phase.
@@ -48,7 +95,7 @@ val retain_tids : t -> (int, unit) Hashtbl.t -> int
     @raise Errors.Sql_error inside a savepoint. *)
 val delete_where : t -> (Row.t -> bool) -> int
 
-(** Remove every row.
+(** Remove every row (index definitions survive, their entries drop).
     @raise Errors.Sql_error inside a savepoint. *)
 val clear : t -> unit
 
@@ -72,5 +119,13 @@ val release : t -> savepoint -> unit
 (** Rows appended since the savepoint (the tentative increment), in
     insertion order. *)
 val rows_since : t -> savepoint -> Row.t list
+
+(** Iterate the rows appended since the savepoint without building a
+    list. *)
+val iter_since : (Row.t -> unit) -> t -> savepoint -> unit
+
+(** Fold over the rows appended since the savepoint without building a
+    list. *)
+val fold_since : ('acc -> Row.t -> 'acc) -> 'acc -> t -> savepoint -> 'acc
 
 val pp : Format.formatter -> t -> unit

@@ -19,6 +19,7 @@ let () =
       ("engine_strategies", Test_engine_strategies.suite);
       ("extension", Test_extension.suite);
       ("persist", Test_persist.suite);
+      ("index", Test_index.suite);
       ("plan_diff", Test_plan_diff.suite);
       ("properties", Test_props.suite);
     ]

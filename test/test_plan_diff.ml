@@ -26,9 +26,15 @@ let table_rows_gen =
 
 let db_of_rows rows_r rows_s =
   let db = Database.create () in
+  (* Indexes on the generator's predicate columns, so the 500-case
+     property also exercises [Index_eq]/[Index_range] access paths: the
+     optimized plans probe them, the reference path never does. *)
   ignore
     (Database.exec_script db
-       "CREATE TABLE r (a INT, b INT); CREATE TABLE s (a INT, c INT)");
+       "CREATE TABLE r (a INT, b INT); CREATE TABLE s (a INT, c INT); \
+        CREATE INDEX ix_r_a ON r USING hash (a); \
+        CREATE INDEX ix_r_b ON r USING sorted (b); \
+        CREATE INDEX ix_s_c ON s USING sorted (c)");
   let r = Database.table db "r" and s = Database.table db "s" in
   List.iter
     (fun (a, b) -> ignore (Table.insert r [| Value.Int a; Value.Int b |]))
@@ -199,6 +205,56 @@ let test_join_lineage_identical () =
     (canon o.Executor.out_rows = canon u.Executor.out_rows);
   Alcotest.(check int) "join produced rows" 4 (List.length o.Executor.out_rows)
 
+(* Indexed vs heap access: the same query through the optimizer with the
+   index present (probes it) and after dropping it (heap scan) must be
+   bit-for-bit identical, including provenance. *)
+let test_indexed_vs_heap_identical () =
+  let db = sample_db () in
+  let cat = Database.catalog db in
+  ignore
+    (Database.exec_script db "CREATE INDEX ix_emp_dept ON emp USING hash (dept)");
+  let q =
+    Parser.query "SELECT e.name, e.salary FROM emp e WHERE e.dept = 'eng'"
+  in
+  let opts = { Executor.lineage = true; track_src = true } in
+  let probes0 = !Executor.index_probes in
+  let indexed = Executor.run ~opts cat q in
+  Alcotest.(check bool) "index path actually probed" true
+    (!Executor.index_probes > probes0);
+  ignore (Database.exec_script db "DROP INDEX ix_emp_dept");
+  let heap = Executor.run ~opts cat q in
+  let unopt = Executor.run_unoptimized ~opts cat q in
+  Alcotest.(check (list string)) "columns" heap.Executor.columns
+    indexed.Executor.columns;
+  Alcotest.(check bool) "indexed = heap (rows, lineage, src tids)" true
+    (canon indexed.Executor.out_rows = canon heap.Executor.out_rows);
+  Alcotest.(check bool) "indexed = reference" true
+    (canon indexed.Executor.out_rows = canon unopt.Executor.out_rows);
+  Alcotest.(check bool) "query returned rows" true
+    (indexed.Executor.out_rows <> [])
+
+(* Range access path, bounds from both sides of a BETWEEN. *)
+let test_range_index_identical () =
+  let db = sample_db () in
+  let cat = Database.catalog db in
+  ignore
+    (Database.exec_script db
+       "CREATE INDEX ix_emp_salary ON emp USING sorted (salary)");
+  let q =
+    Parser.query
+      "SELECT e.name FROM emp e WHERE e.salary >= 80 AND e.salary < 95"
+  in
+  let opts = { Executor.lineage = true; track_src = true } in
+  let probes0 = !Executor.index_probes in
+  let indexed = Executor.run ~opts cat q in
+  Alcotest.(check bool) "range path probed" true
+    (!Executor.index_probes > probes0);
+  let unopt = Executor.run_unoptimized ~opts cat q in
+  Alcotest.(check bool) "range-indexed = reference" true
+    (canon indexed.Executor.out_rows = canon unopt.Executor.out_rows);
+  Alcotest.(check bool) "range returned rows" true
+    (indexed.Executor.out_rows <> [])
+
 (* Prepared-plan cache: DDL invalidation ---------------------------------- *)
 
 let test_prepared_ddl_invalidation () =
@@ -306,6 +362,8 @@ let suite =
   List.map QCheck_alcotest.to_alcotest [ prop_diff ]
   @ [
       tc "join lineage identical across paths" test_join_lineage_identical;
+      tc "indexed access = heap access, bit for bit" test_indexed_vs_heap_identical;
+      tc "range index = reference" test_range_index_identical;
       tc "prepared cache: DDL invalidates" test_prepared_ddl_invalidation;
       tc "prepared cache: set_config invalidates" test_set_config_invalidates_cache;
       tc "prepared cache: unify constants rebuild" test_unify_constants_rebuild_invalidates;
