@@ -20,10 +20,18 @@ let fsync_of_string s =
     | _ -> Error (`Msg (Printf.sprintf "bad fsync interval in %S" s)))
   | _ -> Error (`Msg (Printf.sprintf "unknown fsync policy %S (always|never|interval:N)" s))
 
-let make_engine ~noopt ~with_table2 ?persist_dir ?persist_fsync () =
+let make_engine ~noopt ~with_table2 ?domains ?persist_dir ?persist_fsync () =
   let mimic = Mimic.Generate.small_config in
   let db = Mimic.Generate.database ~config:mimic () in
   let config = if noopt then Engine.noopt_config else Engine.default_config in
+  let config =
+    match domains with
+    | Some n when n >= 1 -> { config with Engine.domains = n }
+    | Some n ->
+      Printf.eprintf "--domains %d: must be >= 1\n" n;
+      exit 2
+    | None -> config
+  in
   let engine =
     try Engine.create ~config ?persist_dir ?persist_fsync db with
     | Persistence.Recovery.Recovery_error msg ->
@@ -81,9 +89,9 @@ let repl_help =
 CREATE/DROP statements (e.g. CREATE INDEX ix ON t USING hash (col))
 run directly; anything else is SQL, checked against the policies|}
 
-let run_repl noopt no_policies persist_dir persist_fsync =
+let run_repl noopt no_policies domains persist_dir persist_fsync =
   let db, engine =
-    make_engine ~noopt ~with_table2:(not no_policies) ?persist_dir
+    make_engine ~noopt ~with_table2:(not no_policies) ?domains ?persist_dir
       ?persist_fsync ()
   in
   let uid = ref 1 in
@@ -140,7 +148,12 @@ let run_repl noopt no_policies persist_dir persist_fsync =
               else
                 Printf.sprintf " (%.1f%% hit rate)"
                   (100. *. float_of_int hits /. float_of_int total));
-           Printf.printf "  index probes: %d\n" !Executor.index_probes
+           Printf.printf "  index probes: %d\n" (Atomic.get Executor.index_probes);
+           let domains, batches, tasks = Engine.parallel_stats engine in
+           Printf.printf "  parallel: %d domain%s, %d batches, %d tasks\n"
+             domains
+             (if domains = 1 then " (serial path)" else "s")
+             batches tasks
          end
          else if line = ":checkpoint" then begin
            Engine.persist_checkpoint engine;
@@ -215,9 +228,10 @@ let run_repl noopt no_policies persist_dir persist_fsync =
 
 (* check ------------------------------------------------------------------ *)
 
-let run_check policy_files query_file uid persist_dir persist_fsync =
+let run_check policy_files query_file uid domains persist_dir persist_fsync =
   let db, engine =
-    make_engine ~noopt:false ~with_table2:false ?persist_dir ?persist_fsync ()
+    make_engine ~noopt:false ~with_table2:false ?domains ?persist_dir
+      ?persist_fsync ()
   in
   ignore db;
   List.iteri
@@ -280,6 +294,16 @@ let noopt =
 let no_policies =
   Arg.(value & flag & info [ "no-policies" ] ~doc:"Start without the Table 2 policies.")
 
+let domains =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Evaluating domains for policy, partial-policy and witness-query \
+           batches. $(b,1) forces the serial code path (no pool); the \
+           default honours $(b,DL_DOMAINS) or the machine's core count.")
+
 let persist_dir =
   Arg.(
     value
@@ -307,7 +331,10 @@ let persist_fsync =
 let repl_cmd =
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive SQL console with policy enforcement")
-    Term.(ret (const run_repl $ noopt $ no_policies $ persist_dir $ persist_fsync))
+    Term.(
+      ret
+        (const run_repl $ noopt $ no_policies $ domains $ persist_dir
+       $ persist_fsync))
 
 let check_cmd =
   let policies =
@@ -321,7 +348,10 @@ let check_cmd =
   let uid = Arg.(value & opt int 1 & info [ "u"; "uid" ] ~doc:"User id.") in
   Cmd.v
     (Cmd.info "check" ~doc:"Check one query against policies; exit 1 on violation")
-    Term.(ret (const run_check $ policies $ query $ uid $ persist_dir $ persist_fsync))
+    Term.(
+      ret
+        (const run_check $ policies $ query $ uid $ domains $ persist_dir
+       $ persist_fsync))
 
 let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Short guided tour") Term.(ret (const run_demo $ const ()))

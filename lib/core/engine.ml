@@ -26,7 +26,21 @@ type config = {
   preemptive : bool;
   improved_partial : bool;
   strategy : strategy;
+  domains : int;
 }
+
+(* Default evaluation parallelism: the DL_DOMAINS environment variable
+   when set (CI pins the serial and pooled paths with it), otherwise one
+   less than the hardware's recommendation — leaving a core for the rest
+   of the system — and never below 1 ([domains = 1] is the strictly
+   serial path: no pool is spawned and no parallel code runs). *)
+let default_domains =
+  match Sys.getenv_opt "DL_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> 1)
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
 
 (* The NoOpt baseline (Algorithm 1): generate the logs the policies
    mention, evaluate the union of all policies, never compact. *)
@@ -38,6 +52,7 @@ let noopt_config =
     preemptive = false;
     improved_partial = false;
     strategy = Union_all;
+    domains = default_domains;
   }
 
 (* DataLawyer with every optimization enabled (§4.4). *)
@@ -49,6 +64,7 @@ let default_config =
     preemptive = true;
     improved_partial = true;
     strategy = Interleaved;
+    domains = default_domains;
   }
 
 type plan = {
@@ -66,6 +82,10 @@ type t = {
   db : Database.t;
   mutable config : config;
   mutable generators : Usage_log.generator list;  (** sorted by rank *)
+  gen_index : (string, Usage_log.generator) Hashtbl.t;
+      (** generator lookup by lowercased relation name; rebuilt at
+          registration so the per-generation hot path never scans the
+          list *)
   mutable registered : Policy.t list;
   mutable plan : plan option;
   mutable last_violations : Policy.t list;
@@ -79,7 +99,13 @@ type t = {
   prepared : Prepared.t;
       (** compiled-plan cache for policy, partial-policy and witness
           queries; invalidated through the same catalog generation
-          counter as the evaluation plan (see {!invalidate}) *)
+          counter as the evaluation plan (see {!invalidate}); sharded
+          per domain so pool workers never share compiled closures *)
+  mutable pool : Parallel.Pool.t option;
+      (** domain pool for parallel evaluation batches; fetched lazily
+          from the process-wide registry when [config.domains > 1] *)
+  mutable par_batches : int;  (** parallel batches dispatched *)
+  mutable par_tasks : int;  (** tasks executed across those batches *)
 }
 
 type outcome =
@@ -178,17 +204,23 @@ let create ?(config = default_config) ?(generators = Usage_log.standard)
         Usage_log.install_relation db g;
       auto_index_log_relation db g)
     generators;
+  let gen_index = Hashtbl.create 8 in
+  List.iter (fun g -> Hashtbl.replace gen_index (lc g.Usage_log.relation) g) generators;
   let t =
     {
       db;
       config;
       generators;
+      gen_index;
       registered = [];
       plan = None;
       last_violations = [];
       persist = None;
       persist_scope = [];
       prepared = Prepared.create (Database.catalog db);
+      pool = None;
+      par_batches = 0;
+      par_tasks = 0;
     }
   in
   (match persist_dir with
@@ -225,6 +257,7 @@ let register_generator t (g : Usage_log.generator) =
   t.generators <-
     List.sort (fun a b -> compare a.Usage_log.rank b.Usage_log.rank)
       (g :: t.generators);
+  Hashtbl.replace t.gen_index (lc g.Usage_log.relation) g;
   invalidate t
 
 let add_policy t ~name sql : Policy.t =
@@ -347,6 +380,44 @@ let plan_cache_stats t = Prepared.stats t.prepared
 
 let clear_plan_cache t = Prepared.clear t.prepared
 
+(* Parallel runtime -------------------------------------------------------- *)
+
+(* The pool evaluating this engine's parallel batches, or [None] on the
+   strictly serial path. [config.domains] counts evaluating domains: the
+   submitting domain helps drain each batch, so the pool holds
+   [domains - 1] workers. Pools come from the process-wide registry
+   ({!Parallel.Pool.shared}) — engines with the same width share one
+   pool, keeping the spawned-domain count bounded no matter how many
+   engines a process creates. *)
+let pool_of t : Parallel.Pool.t option =
+  if t.config.domains <= 1 then None
+  else
+    Some
+      (match t.pool with
+      | Some p when Parallel.Pool.workers p = t.config.domains - 1 -> p
+      | Some _ | None ->
+        let p = Parallel.Pool.shared ~workers:(t.config.domains - 1) in
+        t.pool <- Some p;
+        p)
+
+(* Every query a parallel batch evaluates reads a frozen database state:
+   increments are appended tentatively *before* evaluation, commitment
+   mutations happen after the join, and registration/DDL only run
+   between submissions. Under [Table.debug_checks] we turn that
+   guarantee into an assertion by freeze-marking every table for the
+   span of the batch — any mutation attempt (a would-be cross-domain
+   data race) then raises instead of corrupting. *)
+let with_frozen t (f : unit -> 'a) : 'a =
+  if not !Table.debug_checks then f ()
+  else begin
+    let cat = Database.catalog t.db in
+    let tables = List.map (Catalog.find cat) (Catalog.table_names cat) in
+    List.iter Table.freeze tables;
+    Fun.protect ~finally:(fun () -> List.iter Table.thaw tables) f
+  end
+
+let parallel_stats t = (t.config.domains, t.par_batches, t.par_tasks)
+
 (* Online phase ------------------------------------------------------------ *)
 
 (* Mutable per-submission record of generated log increments. *)
@@ -359,9 +430,35 @@ type submission = {
 }
 
 let generator_for t rel =
-  match List.find_opt (fun g -> lc g.Usage_log.relation = rel) t.generators with
+  match Hashtbl.find_opt t.gen_index rel with
   | Some g -> g
   | None -> Errors.catalog_error "no log-generating function for %s" rel
+
+(* Fan a batch of independent read-only evaluations out over the pool.
+   Each task accumulates into a private {!Stats.t} (no cross-domain
+   mutation) merged into the submission's record after the join; result
+   order follows input order, so violation lists keep registration-rank
+   order; an exception in any task is re-raised (first in input order)
+   only after the whole batch has joined, so tables are never unfrozen
+   under a still-running task. *)
+let par_map t (sub : submission) (pool : Parallel.Pool.t)
+    (f : Stats.t -> 'a -> 'b) (xs : 'a list) : 'b list =
+  t.par_batches <- t.par_batches + 1;
+  t.par_tasks <- t.par_tasks + List.length xs;
+  with_frozen t (fun () ->
+      let results =
+        Parallel.Pool.map pool
+          (fun x ->
+            let stats = Stats.create () in
+            let r = f stats x in
+            (stats, r))
+          xs
+      in
+      List.map
+        (fun (stats, r) ->
+          Stats.merge_into sub.stats stats;
+          r)
+        results)
 
 (* Run the log-generating function for [rel] (once) and tentatively append
    the increment under a savepoint. *)
@@ -399,13 +496,15 @@ let gen_rel t (sub : submission) rel =
           (Option.value !first ~default:max_int))
   end
 
-(* Evaluate a policy query; returns the violation message if non-empty. *)
-let eval_query t (sub : submission) ?(track_src = false) (q : Ast.query) :
+(* Evaluate a policy query; returns the violation message if non-empty.
+   [stats] is the record to charge — the submission's on the serial
+   path, a task-private one inside a parallel batch. *)
+let eval_query t ~(stats : Stats.t) ?(track_src = false) (q : Ast.query) :
     Executor.result option =
   Stats.timed
-    (fun d -> sub.stats.Stats.policy_eval <- sub.stats.Stats.policy_eval +. d)
+    (fun d -> stats.Stats.policy_eval <- stats.Stats.policy_eval +. d)
     (fun () ->
-      sub.stats.Stats.policy_calls <- sub.stats.Stats.policy_calls + 1;
+      stats.Stats.policy_calls <- stats.Stats.policy_calls + 1;
       let opts = { Executor.lineage = false; track_src } in
       let r = Prepared.run t.prepared ~opts q in
       match r.Executor.out_rows with [] -> None | _ -> Some r)
@@ -419,8 +518,8 @@ let message_of_result (p : Policy.t) (r : Executor.result) =
    draw only on committed (pre-increment) log tuples proves the policy
    still holds, provided the policy's log relations are all ts-joined and
    the partial query retains at least one log relation. *)
-let independent_of_increment t (sub : submission) (p : Policy.t)
-    (partial_q : Ast.query) : bool =
+let independent_of_increment t ~(stats : Stats.t) (sub : submission)
+    (p : Policy.t) (partial_q : Ast.query) : bool =
   let is_log = is_log t in
   let ts_joined =
     match p.Policy.query with
@@ -445,7 +544,7 @@ let independent_of_increment t (sub : submission) (p : Policy.t)
   in
   if not (ts_joined && has_log_slot) then false
   else
-    match eval_query t sub ~track_src:true partial_q with
+    match eval_query t ~stats ~track_src:true partial_q with
     | None -> true (* raced to empty: certainly independent *)
     | Some r ->
       let slot_rel = Array.of_list slot_rels in
@@ -462,8 +561,27 @@ let independent_of_increment t (sub : submission) (p : Policy.t)
             row.Executor.src_tids)
         r.Executor.out_rows
 
+(* Full evaluation of a policy batch. The policies of one submission are
+   mutually independent read-only queries over the frozen tentative
+   state, so with a pool they fan out one task per policy; results come
+   back in input order, keeping the violation list in registration-rank
+   order exactly as the serial loop produces it. With [domains = 1]
+   ([pool = None]) this is the pre-existing serial loop, unchanged. *)
+let eval_full t (sub : submission) (pool : Parallel.Pool.t option)
+    (ps : Policy.t list) : (Policy.t * string) list =
+  let eval stats p =
+    match eval_query t ~stats p.Policy.query with
+    | Some r -> Some (p, message_of_result p r)
+    | None -> None
+  in
+  match pool with
+  | Some pool when List.length ps > 1 ->
+    List.filter_map Fun.id (par_map t sub pool eval ps)
+  | Some _ | None -> List.filter_map (eval sub.stats) ps
+
 (* Interleaved policy evaluation (Algorithm 3). Returns violations. *)
-let run_interleaved t (sub : submission) (pl : plan) : (Policy.t * string) list =
+let run_interleaved t (sub : submission) (pool : Parallel.Pool.t option)
+    (pl : plan) : (Policy.t * string) list =
   let is_log = is_log t in
   let needed =
     List.sort_uniq String.compare
@@ -478,65 +596,92 @@ let run_interleaved t (sub : submission) (pl : plan) : (Policy.t * string) list 
         let rel = lc g.Usage_log.relation in
         gen_rel t sub rel;
         available := rel :: !available;
+        (* One partial-policy check per remaining policy: independent
+           read-only queries over the logs generated so far (the
+           increment for [rel] is already appended), so with a pool they
+           run as one parallel batch; the filter keeps input order
+           either way. *)
+        let keep stats p =
+          (* Interleavable policies evaluate the genuine πS; policies
+             admitted via core-prunability evaluate the monotone
+             HAVING-stripped core instead (empty core ⇒ π empty). *)
+          let pq = Partial.of_query ~is_log ~available:!available p.Policy.query in
+          let pq = if p.Policy.interleavable then pq else Partial.strip_having pq in
+          match eval_query t ~stats pq with
+          | None -> false (* partial policy empty: π satisfied *)
+          | Some _ when
+              p.Policy.interleavable && t.config.improved_partial
+              && independent_of_increment t ~stats sub p pq ->
+            false
+          | Some _ -> true
+        in
         remaining :=
-          List.filter
-            (fun p ->
-              (* Interleavable policies evaluate the genuine πS; policies
-                 admitted via core-prunability evaluate the monotone
-                 HAVING-stripped core instead (empty core ⇒ π empty). *)
-              let pq = Partial.of_query ~is_log ~available:!available p.Policy.query in
-              let pq = if p.Policy.interleavable then pq else Partial.strip_having pq in
-              match eval_query t sub pq with
-              | None -> false (* partial policy empty: π satisfied *)
-              | Some _ when
-                  p.Policy.interleavable && t.config.improved_partial
-                  && independent_of_increment t sub p pq ->
-                false
-              | Some _ -> true)
-            !remaining
+          (match pool with
+          | Some pool when List.length !remaining > 1 ->
+            let keeps = par_map t sub pool keep !remaining in
+            List.filter_map
+              (fun (p, k) -> if k then Some p else None)
+              (List.combine !remaining keeps)
+          | Some _ | None -> List.filter (keep sub.stats) !remaining)
       end)
     gens;
   (* Policies still standing are evaluated in full: interleavable ones are
      genuine violations (S covers their relations), core-pruned ones may
      still be saved by their HAVING. *)
-  List.filter_map
-    (fun p ->
-      match eval_query t sub p.Policy.query with
-      | Some r -> Some (p, message_of_result p r)
-      | None -> None)
-    !remaining
+  eval_full t sub pool !remaining
 
 (* Serial / union evaluation over a policy list. *)
-let run_serial t (sub : submission) (ps : Policy.t list) : (Policy.t * string) list =
+let run_serial t (sub : submission) (pool : Parallel.Pool.t option)
+    (ps : Policy.t list) : (Policy.t * string) list =
   List.iter (fun p -> List.iter (gen_rel t sub) p.Policy.log_rels) ps;
-  List.filter_map
-    (fun p ->
-      match eval_query t sub p.Policy.query with
-      | Some r -> Some (p, message_of_result p r)
-      | None -> None)
-    ps
+  eval_full t sub pool ps
 
-let run_union t (sub : submission) (ps : Policy.t list) : (Policy.t * string) list =
+let run_union t (sub : submission) (pool : Parallel.Pool.t option)
+    (ps : Policy.t list) : (Policy.t * string) list =
   match ps with
   | [] -> []
   | first :: others ->
     List.iter (fun p -> List.iter (gen_rel t sub) p.Policy.log_rels) ps;
-    let union_q =
-      List.fold_left
-        (fun acc p ->
-          Ast.Union { all = false; left = acc; right = p.Policy.query })
-        first.Policy.query others
+    (* The violated rows: on the serial path, from the one big UNION of
+       Algorithm 1; with a pool, each branch evaluates as its own task
+       and the rows are concatenated. UNION's row dedup is absorbed by
+       the [sort_uniq] over extracted messages below, so both forms see
+       the same message set and produce identical violation lists. *)
+    let violated_rows : Executor.row_out list option =
+      match pool with
+      | Some pool when others <> [] ->
+        let rs =
+          par_map t sub pool
+            (fun stats p -> eval_query t ~stats p.Policy.query)
+            ps
+        in
+        if List.for_all Option.is_none rs then None
+        else
+          Some
+            (List.concat_map
+               (function Some r -> r.Executor.out_rows | None -> [])
+               rs)
+      | Some _ | None ->
+        let union_q =
+          List.fold_left
+            (fun acc p ->
+              Ast.Union { all = false; left = acc; right = p.Policy.query })
+            first.Policy.query others
+        in
+        (match eval_query t ~stats:sub.stats union_q with
+        | None -> None
+        | Some r -> Some r.Executor.out_rows)
     in
-    (match eval_query t sub union_q with
+    (match violated_rows with
     | None -> []
-    | Some r ->
+    | Some rows ->
       let messages =
         List.filter_map
           (fun (row : Executor.row_out) ->
             match row.Executor.values with
             | [| Value.Str m |] -> Some m
             | _ -> None)
-          r.Executor.out_rows
+          rows
         |> List.sort_uniq String.compare
       in
       List.filter_map
@@ -551,16 +696,20 @@ let run_union t (sub : submission) (ps : Policy.t list) : (Policy.t * string) li
 
 type mark = Mark_all | Mark_tids of (int, unit) Hashtbl.t
 
-(* Execute one witness query, adding the retained slot-0 tids to [acc]. *)
-let run_witness t (sub : submission) (w : Ast.select) (acc : (int, unit) Hashtbl.t) =
+(* Execute one witness query, returning the retained slot-0 tids. *)
+let witness_tids t (w : Ast.select) : int list =
   let opts = { Executor.lineage = false; track_src = true } in
   let r = Prepared.run t.prepared ~opts (Ast.Select w) in
-  List.iter
+  List.concat_map
     (fun (row : Executor.row_out) ->
-      List.iter
-        (fun (slot, tid) -> if slot = 0 then Hashtbl.replace acc tid ())
+      List.filter_map
+        (fun (slot, tid) -> if slot = 0 then Some tid else None)
         row.Executor.src_tids)
-    r.Executor.out_rows;
+    r.Executor.out_rows
+
+(* Execute one witness query, adding the retained slot-0 tids to [acc]. *)
+let run_witness t (sub : submission) (w : Ast.select) (acc : (int, unit) Hashtbl.t) =
+  List.iter (fun tid -> Hashtbl.replace acc tid ()) (witness_tids t w);
   ignore sub
 
 (* §4.3 preemptive log compaction: before generating relation [rel] just
@@ -611,7 +760,8 @@ let preemptively_empty t (sub : submission) ~(now : int) (rel : string)
     (List.filter (fun p -> List.mem rel p.Policy.log_rels) policies)
 
 (* The commit path: compaction + persistence of the log increments. *)
-let commit_logs t (sub : submission) (pl : plan) ~(now : int) =
+let commit_logs t (sub : submission) (pool : Parallel.Pool.t option) (pl : plan)
+    ~(now : int) =
   let stats = sub.stats in
   let is_log = is_log t in
   (* Per-relation rows actually retained this commit (the WAL record),
@@ -673,19 +823,67 @@ let commit_logs t (sub : submission) (pl : plan) ~(now : int) =
     Stats.timed
       (fun d -> stats.Stats.compact_mark <- stats.Stats.compact_mark +. d)
       (fun () ->
-        List.iter
-          (fun p ->
-            List.iter
-              (fun (rel, w) ->
+        match pool with
+        | Some pool ->
+          (* Witness structure first (cheap, no queries): a [Keep_all]
+             promotes its relation to [Mark_all] — retaining everything,
+             so that relation's other witness queries are moot exactly
+             as on the serial path — then every witness query of the
+             still-collecting relations fans out as one batch, each task
+             folding into a private tid list merged after the join.
+             Merged per-relation sets are bit-identical to the serially
+             accumulated ones (sets of slot-0 tids; order-free). *)
+          let tasks = ref [] in
+          List.iter
+            (fun p ->
+              List.iter
+                (fun (rel, w) ->
+                  match Hashtbl.find_opt marks rel with
+                  | None | Some Mark_all -> ()
+                  | Some (Mark_tids _) -> (
+                    match w with
+                    | Witness.Keep_all -> Hashtbl.replace marks rel Mark_all
+                    | Witness.Queries qs ->
+                      List.iter (fun q -> tasks := (rel, q) :: !tasks) qs))
+                (Witness.for_policy ~is_log ~now p))
+            td_policies;
+          let tasks =
+            List.filter
+              (fun (rel, _) ->
                 match Hashtbl.find_opt marks rel with
-                | None -> () (* skipped or not stored *)
-                | Some Mark_all -> ()
-                | Some (Mark_tids acc) -> (
-                  match w with
-                  | Witness.Keep_all -> Hashtbl.replace marks rel Mark_all
-                  | Witness.Queries qs -> List.iter (fun q -> run_witness t sub q acc) qs))
-              (Witness.for_policy ~is_log ~now p))
-          td_policies);
+                | Some (Mark_tids _) -> true
+                | Some Mark_all | None -> false)
+              (List.rev !tasks)
+          in
+          let tid_sets =
+            match tasks with
+            | [] -> []
+            | tasks ->
+              par_map t sub pool
+                (fun _stats (rel, q) -> (rel, witness_tids t q))
+                tasks
+          in
+          List.iter
+            (fun (rel, tids) ->
+              match Hashtbl.find_opt marks rel with
+              | Some (Mark_tids acc) ->
+                List.iter (fun tid -> Hashtbl.replace acc tid ()) tids
+              | Some Mark_all | None -> ())
+            tid_sets
+        | None ->
+          List.iter
+            (fun p ->
+              List.iter
+                (fun (rel, w) ->
+                  match Hashtbl.find_opt marks rel with
+                  | None -> () (* skipped or not stored *)
+                  | Some Mark_all -> ()
+                  | Some (Mark_tids acc) -> (
+                    match w with
+                    | Witness.Keep_all -> Hashtbl.replace marks rel Mark_all
+                    | Witness.Queries qs -> List.iter (fun q -> run_witness t sub q acc) qs))
+                (Witness.for_policy ~is_log ~now p))
+            td_policies);
     (* Delete + insert phases per relation. *)
     List.iter
       (fun rel ->
@@ -783,16 +981,17 @@ let submit_ast t ~(uid : int) ?(extra = []) (query : Ast.query) : outcome =
   (* Any failure during checking (e.g. the user query itself is invalid
      and breaks the provenance function) must revert the tentative log,
      or the leaked savepoints would poison later submissions. *)
+  let pool = pool_of t in
   match
     let violations =
       match t.config.strategy with
-      | Union_all -> run_union t sub pl.active
-      | Serial -> run_serial t sub pl.active
+      | Union_all -> run_union t sub pool pl.active
+      | Serial -> run_serial t sub pool pl.active
       | Interleaved ->
         (* Algorithm 3 on the interleavable policies, then the rest in
            full, as in the §4.4 online phase. *)
-        let v1 = run_interleaved t sub pl in
-        let v2 = run_serial t sub pl.rest in
+        let v1 = run_interleaved t sub pool pl in
+        let v2 = run_serial t sub pool pl.rest in
         v1 @ v2
     in
     t.last_violations <- List.map fst violations;
@@ -802,7 +1001,7 @@ let submit_ast t ~(uid : int) ?(extra = []) (query : Ast.query) : outcome =
       Rejected (List.map snd violations, sub.stats)
     end
     else begin
-      commit_logs t sub pl ~now;
+      commit_logs t sub pool pl ~now;
       let result =
         Stats.timed
           (fun d -> sub.stats.Stats.query_exec <- sub.stats.Stats.query_exec +. d)

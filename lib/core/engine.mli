@@ -22,7 +22,19 @@ type config = {
   preemptive : bool;  (** §4.3 preemptive log compaction *)
   improved_partial : bool;  (** §4.3 improved partial policies *)
   strategy : strategy;
+  domains : int;
+      (** evaluating domains for the per-submission policy, partial-policy
+          and witness-query batches. [1] (the floor) is the strictly
+          serial pre-existing code path — no pool is spawned; [n > 1]
+          drives the batches through a shared pool of [n - 1] worker
+          domains with the submitting domain helping. Defaults to
+          {!default_domains}. *)
 }
+
+(** The default for {!config}[.domains]: [DL_DOMAINS] from the
+    environment when set (and a valid positive integer), otherwise
+    [Domain.recommended_domain_count () - 1], floored at 1. *)
+val default_domains : int
 
 (** The NoOpt baseline of Algorithm 1: generate only the logs the
     policies mention, evaluate their union, never compact. *)
@@ -103,6 +115,11 @@ val plan_cache_stats : t -> int * int
 (** Drop every cached compiled plan, forcing cold compiles on the next
     submission (benchmarking hook; statistics survive). *)
 val clear_plan_cache : t -> unit
+
+(** (configured domains, parallel batches dispatched, tasks executed
+    across them). Batches and tasks stay 0 on the serial path
+    ([domains = 1]). *)
+val parallel_stats : t -> int * int * int
 
 (** Check-and-execute one query (the §4.4 online phase). [extra] is
     passed to custom log-generating functions. *)

@@ -11,6 +11,21 @@
     registration), so a stale compiled plan can never outlive the state
     it was compiled against.
 
+    Domain safety: the cache is sharded per domain. Each domain that
+    ever prepares a query through this cache gets a private shard (keyed
+    by its domain id), so a compiled plan — a closure whose execution is
+    re-entrant but whose ownership story we keep trivially safe — is
+    only ever fetched and executed by the domain that compiled it. The
+    engine's parallel batches therefore compile each hot query once per
+    participating domain (bounded, small) instead of taking a lock on
+    every policy evaluation. Only the shard-lookup table itself is
+    mutex-protected; all per-shard state is single-domain.
+
+    The engine only bumps the catalog generation while no parallel batch
+    is in flight (tables are frozen for the span of a batch), so a
+    worker revalidating its shard mid-batch always sees a stable
+    generation.
+
     Compilation failures are never cached: a query that fails to bind
     raises on every call, exactly as the uncached executor did. *)
 
@@ -18,12 +33,17 @@ open Relational
 
 type key = { q : Ast.query; lineage : bool; track_src : bool }
 
-type t = {
-  cat : Catalog.t;
+type shard = {
   cache : (key, Executor.compiled) Hashtbl.t;
   mutable gen : int;
   mutable hits : int;
   mutable misses : int;
+}
+
+type t = {
+  cat : Catalog.t;
+  lock : Mutex.t;  (** guards [shards]; per-shard state is domain-private *)
+  shards : (int, shard) Hashtbl.t;  (** domain id -> private shard *)
 }
 
 (* Witness probes bake the current timestamp into their AST, so a
@@ -32,42 +52,71 @@ type t = {
 let capacity = 1024
 
 let create (cat : Catalog.t) : t =
-  {
-    cat;
-    cache = Hashtbl.create 64;
-    gen = Catalog.generation cat;
-    hits = 0;
-    misses = 0;
-  }
+  { cat; lock = Mutex.create (); shards = Hashtbl.create 4 }
 
-let sync t =
+let shard_for t : shard =
+  let id = (Domain.self () :> int) in
+  Mutex.lock t.lock;
+  let s =
+    match Hashtbl.find_opt t.shards id with
+    | Some s -> s
+    | None ->
+      let s =
+        {
+          cache = Hashtbl.create 64;
+          gen = Catalog.generation t.cat;
+          hits = 0;
+          misses = 0;
+        }
+      in
+      Hashtbl.add t.shards id s;
+      s
+  in
+  Mutex.unlock t.lock;
+  s
+
+let sync t (s : shard) =
   let g = Catalog.generation t.cat in
-  if g <> t.gen then begin
-    Hashtbl.reset t.cache;
-    t.gen <- g
+  if g <> s.gen then begin
+    Hashtbl.reset s.cache;
+    s.gen <- g
   end
 
 let prepare t ?(opts = Executor.default_opts) (q : Ast.query) : Executor.compiled
     =
-  sync t;
+  let s = shard_for t in
+  sync t s;
   let k =
     { q; lineage = opts.Executor.lineage; track_src = opts.Executor.track_src }
   in
-  match Hashtbl.find_opt t.cache k with
+  match Hashtbl.find_opt s.cache k with
   | Some c ->
-    t.hits <- t.hits + 1;
+    s.hits <- s.hits + 1;
     c
   | None ->
     let c = Executor.prepare ~opts t.cat q in
-    if Hashtbl.length t.cache >= capacity then Hashtbl.reset t.cache;
-    Hashtbl.replace t.cache k c;
-    t.misses <- t.misses + 1;
+    if Hashtbl.length s.cache >= capacity then Hashtbl.reset s.cache;
+    Hashtbl.replace s.cache k c;
+    s.misses <- s.misses + 1;
     c
 
 let run t ?opts q = Executor.run_compiled (prepare t ?opts q)
 
 let is_empty t ?opts q = (run t ?opts q).Executor.out_rows = []
 
-let stats t = (t.hits, t.misses)
+(* Aggregated over all shards. Called from the coordinating domain
+   between batches; the lock only orders shard creation against us. *)
+let stats t =
+  Mutex.lock t.lock;
+  let hits, misses =
+    Hashtbl.fold
+      (fun _ s (h, m) -> (h + s.hits, m + s.misses))
+      t.shards (0, 0)
+  in
+  Mutex.unlock t.lock;
+  (hits, misses)
 
-let clear t = Hashtbl.reset t.cache
+let clear t =
+  Mutex.lock t.lock;
+  Hashtbl.iter (fun _ s -> Hashtbl.reset s.cache) t.shards;
+  Mutex.unlock t.lock

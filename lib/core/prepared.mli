@@ -2,7 +2,13 @@
     revalidated against {!Relational.Catalog.generation}. One counter
     covers every invalidation source — DDL bumps it structurally, the
     engine bumps it on config/policy changes — so cached plans can never
-    go stale. *)
+    go stale.
+
+    Sharded per domain: each domain that prepares through the cache owns
+    a private shard, so compiled closures are never shared (mutably or
+    otherwise) across the engine's pool domains, and the policy hot path
+    takes no lock. {!stats} and {!clear} aggregate/reset across
+    shards. *)
 
 open Relational
 

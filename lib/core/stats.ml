@@ -47,6 +47,22 @@ let add a b =
     rows_logged = a.rows_logged + b.rows_logged;
   }
 
+(* Fold [src] into [dst] in place: the engine's parallel batches give
+   each task a private record (no cross-domain mutation) and the
+   submitting domain merges them into the submission's record after the
+   join. *)
+let merge_into (dst : t) (src : t) =
+  let s = add dst src in
+  dst.log_track <- s.log_track;
+  dst.policy_eval <- s.policy_eval;
+  dst.compact_mark <- s.compact_mark;
+  dst.compact_delete <- s.compact_delete;
+  dst.compact_insert <- s.compact_insert;
+  dst.query_exec <- s.query_exec;
+  dst.persist <- s.persist;
+  dst.policy_calls <- s.policy_calls;
+  dst.rows_logged <- s.rows_logged
+
 let zero = create ()
 
 let sum = List.fold_left add zero
@@ -68,11 +84,15 @@ let mean = function
   | [] -> zero
   | ss -> scale (1. /. float_of_int (List.length ss)) (sum ss)
 
-(* Time an action, adding the elapsed seconds via [record]. *)
+(* Time an action, adding the elapsed seconds via [record]. Wall clock
+   ([Unix.gettimeofday]) can step backwards under NTP adjustment; a
+   negative delta would silently corrupt every aggregate built from
+   these samples, so clamp to 0. *)
 let timed (record : float -> unit) (f : unit -> 'a) : 'a =
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  record (Unix.gettimeofday () -. t0);
+  let d = Unix.gettimeofday () -. t0 in
+  record (if d > 0. then d else 0.);
   r
 
 let ms x = x *. 1000.

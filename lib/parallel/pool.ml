@@ -1,0 +1,168 @@
+(** Fixed-size domain pool over a Mutex/Condition work queue.
+
+    Workers loop: wait for the queue to be non-empty (or the pool to be
+    stopped), pop one job, run it outside the lock. A job is a [unit ->
+    unit] closure that stores its own outcome into its task cell and
+    signals the task's private condition, so [await] never contends with
+    the queue lock. Shutdown lets workers drain the remaining queue
+    before they exit (the loop only terminates on [stop && empty]).
+
+    Determinism: [map] awaits its tasks in submission order and
+    re-raises the first failure in input order only after every task of
+    the batch has resolved — completion order (which is scheduling
+    noise) is never observable. *)
+
+type job = unit -> unit
+
+type t = {
+  lock : Mutex.t;  (** guards [jobs] and [stop] *)
+  nonempty : Condition.t;
+  jobs : job Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t array;
+  workers : int;
+  tasks : int Atomic.t;
+}
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a task = { m : Mutex.t; c : Condition.t; mutable state : 'a state }
+
+let workers t = t.workers
+
+let tasks_run t = Atomic.get t.tasks
+
+let rec worker_loop pool =
+  Mutex.lock pool.lock;
+  while Queue.is_empty pool.jobs && not pool.stop do
+    Condition.wait pool.nonempty pool.lock
+  done;
+  if Queue.is_empty pool.jobs then Mutex.unlock pool.lock (* stopped *)
+  else begin
+    let job = Queue.pop pool.jobs in
+    Mutex.unlock pool.lock;
+    job ();
+    worker_loop pool
+  end
+
+let create ~workers =
+  if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  let pool =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      stop = false;
+      domains = [||];
+      workers;
+      tasks = Atomic.make 0;
+    }
+  in
+  pool.domains <-
+    Array.init workers (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let submit pool f =
+  let task = { m = Mutex.create (); c = Condition.create (); state = Pending } in
+  let job () =
+    let outcome =
+      try Done (f ()) with e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Atomic.incr pool.tasks;
+    Mutex.lock task.m;
+    task.state <- outcome;
+    Condition.broadcast task.c;
+    Mutex.unlock task.m
+  in
+  Mutex.lock pool.lock;
+  if pool.stop then begin
+    Mutex.unlock pool.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push job pool.jobs;
+  Condition.signal pool.nonempty;
+  Mutex.unlock pool.lock;
+  task
+
+(* Wait without raising: [map] needs every task joined before it
+   re-raises, or tasks of a failed batch would still be running when the
+   caller regains control (and unfreezes tables). *)
+let await_result (task : 'a task) : ('a, exn * Printexc.raw_backtrace) result =
+  Mutex.lock task.m;
+  let rec wait () =
+    match task.state with
+    | Pending ->
+      Condition.wait task.c task.m;
+      wait ()
+    | Done v ->
+      Mutex.unlock task.m;
+      Ok v
+    | Failed (e, bt) ->
+      Mutex.unlock task.m;
+      Error (e, bt)
+  in
+  wait ()
+
+let await task =
+  match await_result task with
+  | Ok v -> v
+  | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+
+(* Run one queued job on the calling domain, if any. *)
+let try_run_one pool =
+  Mutex.lock pool.lock;
+  let job = if Queue.is_empty pool.jobs then None else Some (Queue.pop pool.jobs) in
+  Mutex.unlock pool.lock;
+  match job with
+  | None -> false
+  | Some j ->
+    j ();
+    true
+
+let map pool f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs ->
+    let tasks = List.map (fun x -> submit pool (fun () -> f x)) xs in
+    (* Help: the submitting domain drains the queue alongside the
+       workers, then blocks only on stragglers already being run. *)
+    while try_run_one pool do
+      ()
+    done;
+    let results = List.map await_result tasks in
+    List.map
+      (function Ok v -> v | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+      results
+
+let shutdown pool =
+  Mutex.lock pool.lock;
+  if pool.stop then Mutex.unlock pool.lock
+  else begin
+    pool.stop <- true;
+    Condition.broadcast pool.nonempty;
+    Mutex.unlock pool.lock;
+    Array.iter Domain.join pool.domains;
+    pool.domains <- [||]
+  end
+
+(* Shared registry ------------------------------------------------------- *)
+
+let registry_lock = Mutex.create ()
+
+let registry : (int, t) Hashtbl.t = Hashtbl.create 4
+
+let shared ~workers =
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () ->
+      match Hashtbl.find_opt registry workers with
+      | Some pool -> pool
+      | None ->
+        let pool = create ~workers in
+        Hashtbl.add registry workers pool;
+        pool)

@@ -1,0 +1,58 @@
+(** Fixed-size domain pool (stdlib [Domain] + [Mutex]/[Condition] only).
+
+    A pool owns [workers] domains blocked on a shared FIFO work queue.
+    {!submit} enqueues a thunk and returns a task handle; {!await}
+    blocks until it finishes, re-raising (with its backtrace) any
+    exception the thunk raised. {!map} is the batch primitive the engine
+    uses: results come back in input order regardless of completion
+    order, the {e calling} domain helps drain the queue while it waits
+    (so a pool with [workers = n - 1] keeps [n] domains busy), and the
+    first failure in input order is re-raised only after every task of
+    the batch has finished — callers can rely on no task of a batch
+    still running once [map] returns, which is what lets the engine
+    freeze tables for exactly the span of a batch.
+
+    Tasks must not themselves call {!map}/{!await} on the same pool
+    (a worker blocking on the queue it is supposed to drain can
+    deadlock); the engine only ever fans out from the submitting
+    domain, one batch at a time. *)
+
+type t
+
+type 'a task
+
+(** [create ~workers] spawns [workers] (>= 1) worker domains.
+    @raise Invalid_argument on [workers < 1]. *)
+val create : workers:int -> t
+
+(** Number of worker domains (excluding callers helping in {!map}). *)
+val workers : t -> int
+
+(** Tasks executed over the pool's lifetime (including those run by
+    helping callers). *)
+val tasks_run : t -> int
+
+(** Enqueue a thunk. @raise Invalid_argument after {!shutdown}. *)
+val submit : t -> (unit -> 'a) -> 'a task
+
+(** Block until the task completes; returns its result or re-raises its
+    exception with the original backtrace. *)
+val await : 'a task -> 'a
+
+(** [map pool f xs] applies [f] to every element on the pool, returning
+    results in input order. The caller's domain participates in draining
+    the queue. If any application raised, the first failure in input
+    order is re-raised after {e all} tasks of the batch have finished.
+    [map] on an empty or singleton list runs inline. *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Wake all workers, let them drain the queue, and join them. Safe to
+    call twice; {!submit} afterwards raises. *)
+val shutdown : t -> unit
+
+(** Process-wide pool registry: one pool per distinct [workers] count,
+    created on first use and kept for the process lifetime. Engines
+    share pools through this, so creating many engines (tests, REPLs)
+    never multiplies domains — the spawned-domain count stays bounded
+    by the distinct pool sizes in use. *)
+val shared : workers:int -> t

@@ -27,12 +27,13 @@ type arow = {
 }
 
 (* Statistics hooks: rows examined by joins and index probes executed,
-   for tests and benchmarks. *)
-let rows_examined = ref 0
+   for tests and benchmarks. Atomic, because compiled plans execute
+   concurrently on the engine's domain pool. *)
+let rows_examined = Atomic.make 0
 
-let index_probes = ref 0
+let index_probes = Atomic.make 0
 
-let note_rows n = rows_examined := !rows_examined + n
+let note_rows n = ignore (Atomic.fetch_and_add rows_examined n)
 
 (* Expressions ----------------------------------------------------------- *)
 
@@ -456,7 +457,7 @@ and compile_select (cat : Catalog.t) (opts : opts) (sp : Plan.select_plan) : t =
             in
             let ckey = compile_expr key in
             fun () ->
-              incr index_probes;
+              Atomic.incr index_probes;
               let v = ckey [||] [||] in
               (* [col = NULL] matches nothing. *)
               if Value.is_null v then []
@@ -473,7 +474,7 @@ and compile_select (cat : Catalog.t) (opts : opts) (sp : Plan.select_plan) : t =
             in
             let clo = cbound lo and chi = cbound hi in
             fun () ->
-              incr index_probes;
+              Atomic.incr index_probes;
               let eval = Option.map (fun (c, incl) -> (c [||] [||], incl)) in
               let lo = eval clo and hi = eval chi in
               (* A NULL bound makes the comparison false for every row. *)

@@ -16,11 +16,11 @@ type arow = { vals : Value.t array; lin : Lineage.t; src : (int * int) list }
 
 (** Rows examined by join steps since the counter was last reset; a
     statistics hook for tests and benchmarks. *)
-val rows_examined : int ref
+val rows_examined : int Atomic.t
 
 (** Index probes executed (one per [Index_eq]/[Index_range] scan
     execution); a statistics hook for tests and benchmarks. *)
-val index_probes : int ref
+val index_probes : int Atomic.t
 
 (** A compiled scalar closure over (row values, computed aggregates). *)
 type cexpr = Value.t array -> Value.t array -> Value.t

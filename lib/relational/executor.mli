@@ -57,7 +57,7 @@ val is_empty : ?opts:opts -> Catalog.t -> Ast.query -> bool
 
 (** Cumulative count of rows examined by join operators, for tests and
     benchmarks. *)
-val rows_examined : int ref
+val rows_examined : int Atomic.t
 
 (** Cumulative count of index probes executed by compiled access paths. *)
-val index_probes : int ref
+val index_probes : int Atomic.t

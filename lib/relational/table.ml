@@ -23,6 +23,7 @@ type t = {
   rows : Row.t Vec.t;
   mutable next_tid : int;
   mutable in_txn : bool;
+  mutable frozen : bool;
   mutable indexes : Index.t list;
 }
 
@@ -39,8 +40,23 @@ let create ~name ~schema =
     rows = Vec.create ~dummy:dummy_row ();
     next_tid = 0;
     in_txn = false;
+    frozen = false;
     indexes = [];
   }
+
+(* Freeze markers: the engine freezes every table for the span of a
+   parallel evaluation batch; under [debug_checks] any mutation while
+   frozen is an invariant violation (worker domains read these tables
+   lock-free, so a concurrent write would be a data race). *)
+let freeze t = t.frozen <- true
+
+let thaw t = t.frozen <- false
+
+let guard_frozen t op =
+  if !debug_checks && t.frozen then
+    Errors.runtime_error
+      "table %s: %s while frozen (parallel evaluation batch in flight)" t.name
+      op
 
 let name t = t.name
 
@@ -84,6 +100,7 @@ let index_remove t (row : Row.t) =
 
 (* Insert a row; returns its tuple id. *)
 let insert t cells =
+  guard_frozen t "insert";
   check_cells t cells;
   let tid = t.next_tid in
   t.next_tid <- tid + 1;
@@ -166,6 +183,7 @@ let index_range t ix ?lo ?hi () = rows_of_tids t (Index.range ix ?lo ?hi ())
 (* Deletion --------------------------------------------------------------- *)
 
 let guard_no_txn t op =
+  guard_frozen t op;
   if t.in_txn then
     Errors.runtime_error "table %s: %s not allowed inside a savepoint" t.name op
 
@@ -222,6 +240,7 @@ let savepoint t : savepoint =
   Vec.length t.rows
 
 let rollback_to t (sp : savepoint) =
+  guard_frozen t "rollback_to";
   t.in_txn <- false;
   if t.indexes <> [] then
     for i = Vec.length t.rows - 1 downto sp do

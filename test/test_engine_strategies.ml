@@ -20,8 +20,17 @@ let always_fires name =
 
 let test_union_reports_every_violation () =
   let db = base_db () in
+  (* domains = 1: the single-UNION-call pin below is a property of the
+     serial path; a pool evaluates one call per branch (same outcome). *)
   let e =
-    Engine.create ~config:{ Engine.noopt_config with Engine.strategy = Engine.Union_all } db
+    Engine.create
+      ~config:
+        {
+          Engine.noopt_config with
+          Engine.strategy = Engine.Union_all;
+          domains = 1;
+        }
+      db
   in
   ignore (Engine.add_policy e ~name:"a" (always_fires "a"));
   ignore (Engine.add_policy e ~name:"b" (always_fires "b"));

@@ -21,5 +21,7 @@ let () =
       ("persist", Test_persist.suite);
       ("index", Test_index.suite);
       ("plan_diff", Test_plan_diff.suite);
+      ("parallel", Test_parallel.suite);
+      ("parallel_diff", Test_parallel_diff.suite);
       ("properties", Test_props.suite);
     ]

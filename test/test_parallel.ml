@@ -1,0 +1,132 @@
+(* Unit tests for the Parallel.Pool domain pool: deterministic result
+   ordering, exception capture with join-before-reraise, the helping
+   caller's task accounting, the shared registry, and shutdown. *)
+
+open Test_support
+
+let with_pool ~workers f =
+  let pool = Parallel.Pool.create ~workers in
+  Fun.protect ~finally:(fun () -> Parallel.Pool.shutdown pool) (fun () -> f pool)
+
+let test_create_invalid () =
+  match Parallel.Pool.create ~workers:0 with
+  | _ -> Alcotest.fail "workers:0 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_submit_await () =
+  with_pool ~workers:2 @@ fun pool ->
+  let t1 = Parallel.Pool.submit pool (fun () -> 6 * 7) in
+  let t2 = Parallel.Pool.submit pool (fun () -> "ok") in
+  Alcotest.(check int) "int task" 42 (Parallel.Pool.await t1);
+  Alcotest.(check string) "polymorphic tasks coexist" "ok" (Parallel.Pool.await t2);
+  Alcotest.(check int) "workers" 2 (Parallel.Pool.workers pool)
+
+let test_await_reraises () =
+  with_pool ~workers:1 @@ fun pool ->
+  let t = Parallel.Pool.submit pool (fun () -> failwith "boom") in
+  match Parallel.Pool.await t with
+  | _ -> Alcotest.fail "must re-raise"
+  | exception Failure m -> Alcotest.(check string) "original exception" "boom" m
+
+let test_map_preserves_order () =
+  with_pool ~workers:3 @@ fun pool ->
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int))
+    "squares in input order"
+    (List.map (fun x -> x * x) xs)
+    (Parallel.Pool.map pool (fun x -> x * x) xs)
+
+let test_map_order_under_skew () =
+  (* Early tasks sleep longest, so completion order is roughly reversed;
+     results must still come back in input order. *)
+  with_pool ~workers:3 @@ fun pool ->
+  let xs = List.init 24 Fun.id in
+  let ys =
+    Parallel.Pool.map pool
+      (fun x ->
+        if x < 6 then Unix.sleepf 0.003;
+        x + 1)
+      xs
+  in
+  Alcotest.(check (list int)) "input order despite skew" (List.map succ xs) ys
+
+let test_map_joins_before_reraise () =
+  with_pool ~workers:2 @@ fun pool ->
+  let ran = Atomic.make 0 in
+  (match
+     Parallel.Pool.map pool
+       (fun x ->
+         Atomic.incr ran;
+         if x = 3 then failwith "boom3";
+         if x = 7 then failwith "boom7";
+         x)
+       (List.init 10 Fun.id)
+   with
+  | _ -> Alcotest.fail "must re-raise"
+  | exception Failure m ->
+    Alcotest.(check string) "first failure in input order" "boom3" m);
+  Alcotest.(check int) "every task finished before the re-raise" 10
+    (Atomic.get ran)
+
+let test_map_small_inputs_inline () =
+  with_pool ~workers:2 @@ fun pool ->
+  let before = Parallel.Pool.tasks_run pool in
+  Alcotest.(check (list int)) "empty" [] (Parallel.Pool.map pool succ []);
+  Alcotest.(check (list int)) "singleton" [ 42 ] (Parallel.Pool.map pool succ [ 41 ]);
+  Alcotest.(check int) "ran inline, no pool tasks" before
+    (Parallel.Pool.tasks_run pool)
+
+let test_tasks_run_counts_batch () =
+  with_pool ~workers:2 @@ fun pool ->
+  let before = Parallel.Pool.tasks_run pool in
+  ignore (Parallel.Pool.map pool succ (List.init 17 Fun.id));
+  Alcotest.(check int) "one task per element (helpers included)" (before + 17)
+    (Parallel.Pool.tasks_run pool)
+
+let test_sequential_batches () =
+  (* The engine reuses one pool across submissions: batches must not
+     interfere. *)
+  with_pool ~workers:2 @@ fun pool ->
+  for k = 1 to 20 do
+    let xs = List.init k (fun i -> i * k) in
+    Alcotest.(check (list int))
+      (Printf.sprintf "batch %d" k)
+      (List.map (fun x -> x + k) xs)
+      (Parallel.Pool.map pool (fun x -> x + k) xs)
+  done
+
+let test_shutdown_semantics () =
+  let pool = Parallel.Pool.create ~workers:2 in
+  ignore (Parallel.Pool.map pool succ [ 1; 2; 3 ]);
+  Parallel.Pool.shutdown pool;
+  Parallel.Pool.shutdown pool (* idempotent *);
+  match Parallel.Pool.submit pool (fun () -> 0) with
+  | _ -> Alcotest.fail "submit after shutdown must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_shared_registry () =
+  let a = Parallel.Pool.shared ~workers:2 in
+  let b = Parallel.Pool.shared ~workers:2 in
+  let c = Parallel.Pool.shared ~workers:3 in
+  Alcotest.(check bool) "same size, same pool" true (a == b);
+  Alcotest.(check bool) "distinct sizes, distinct pools" true (not (a == c));
+  Alcotest.(check int) "requested width" 3 (Parallel.Pool.workers c);
+  (* shared pools live for the process: still usable after other tests
+     shut their private pools down *)
+  Alcotest.(check (list int)) "shared pool works" [ 2; 3; 4 ]
+    (Parallel.Pool.map a succ [ 1; 2; 3 ])
+
+let suite =
+  [
+    tc "create rejects workers < 1" test_create_invalid;
+    tc "submit and await" test_submit_await;
+    tc "await re-raises task exceptions" test_await_reraises;
+    tc "map preserves input order" test_map_preserves_order;
+    tc "map ordering under completion skew" test_map_order_under_skew;
+    tc "map joins the batch before re-raising" test_map_joins_before_reraise;
+    tc "map runs empty/singleton inline" test_map_small_inputs_inline;
+    tc "tasks_run counts every batch element" test_tasks_run_counts_batch;
+    tc "sequential batches on one pool" test_sequential_batches;
+    tc "shutdown is idempotent and final" test_shutdown_semantics;
+    tc "shared registry keyed by width" test_shared_registry;
+  ]

@@ -217,10 +217,10 @@ let test_indexed_vs_heap_identical () =
     Parser.query "SELECT e.name, e.salary FROM emp e WHERE e.dept = 'eng'"
   in
   let opts = { Executor.lineage = true; track_src = true } in
-  let probes0 = !Executor.index_probes in
+  let probes0 = Atomic.get Executor.index_probes in
   let indexed = Executor.run ~opts cat q in
   Alcotest.(check bool) "index path actually probed" true
-    (!Executor.index_probes > probes0);
+    (Atomic.get Executor.index_probes > probes0);
   ignore (Database.exec_script db "DROP INDEX ix_emp_dept");
   let heap = Executor.run ~opts cat q in
   let unopt = Executor.run_unoptimized ~opts cat q in
@@ -245,10 +245,10 @@ let test_range_index_identical () =
       "SELECT e.name FROM emp e WHERE e.salary >= 80 AND e.salary < 95"
   in
   let opts = { Executor.lineage = true; track_src = true } in
-  let probes0 = !Executor.index_probes in
+  let probes0 = Atomic.get Executor.index_probes in
   let indexed = Executor.run ~opts cat q in
   Alcotest.(check bool) "range path probed" true
-    (!Executor.index_probes > probes0);
+    (Atomic.get Executor.index_probes > probes0);
   let unopt = Executor.run_unoptimized ~opts cat q in
   Alcotest.(check bool) "range-indexed = reference" true
     (canon indexed.Executor.out_rows = canon unopt.Executor.out_rows);
