@@ -237,6 +237,84 @@ let parallel_case () =
     Printf.printf
       "(single-core host: the >= 1.3x pooled-speedup floor is skipped)\n"
 
+(* Incremental evaluation: per-submission policy-evaluation latency of a
+   delta-eligible SPJ policy over a growing preloaded usage log, delta on
+   vs off — the ISSUE 5 acceptance measurement. Full evaluation rescans
+   the whole log per submission and grows linearly; delta evaluation
+   joins only the submission's increment against the log's watermark and
+   stays ~flat, so the speedup at the largest size gates regressions
+   (conservative 2x floor in --smoke, 3x otherwise). *)
+let delta_case () =
+  Common.header "Incremental evaluation: delta vs full policy re-check";
+  let open Relational in
+  let smoke = !Common.smoke in
+  let sizes = if smoke then [ 2_000; 8_000 ] else [ 5_000; 20_000; 80_000 ] in
+  let iters = if smoke then 20 else 50 in
+  let run_with ~delta ~n =
+    let db = Database.create () in
+    ignore
+      (Database.exec_script db
+         "CREATE TABLE data (k INT, v TEXT); INSERT INTO data VALUES (1, \
+          'a'), (2, 'b'); CREATE TABLE banned (uid INT); INSERT INTO banned \
+          VALUES (999)");
+    (* every optimization that shortcuts re-evaluation on its own (TI
+       rewriting, compaction) is off, so the comparison isolates the
+       delta machinery; Serial keeps one evaluation per policy *)
+    let config =
+      {
+        Engine.strategy = Engine.Serial;
+        time_independent = false;
+        log_compaction = false;
+        preemptive = false;
+        improved_partial = false;
+        unification = false;
+        domains = 1;
+        delta;
+      }
+    in
+    let engine = Engine.create ~config db in
+    ignore
+      (Engine.add_policy engine ~name:"no_banned"
+         "SELECT DISTINCT 'banned uid' FROM users u, banned b WHERE u.uid = \
+          b.uid");
+    let users = Database.table db "users" in
+    for i = 1 to n do
+      ignore (Table.insert users [| Value.Int i; Value.Int (i mod 50) |])
+    done;
+    Usage_log.set_clock db (n + 1);
+    (* warm: compiles the plans and, with delta on, establishes the first
+       base — the measured submissions then only scan their increments *)
+    (match Engine.submit engine ~uid:1 "SELECT v FROM data WHERE k = 1" with
+    | Engine.Rejected _ -> failwith "bench policy must accept"
+    | Engine.Accepted _ -> ());
+    let total = ref 0. in
+    for _ = 1 to iters do
+      let st =
+        Engine.stats_of (Engine.submit engine ~uid:1 "SELECT v FROM data WHERE k = 1")
+      in
+      total := !total +. st.Stats.policy_eval
+    done;
+    !total /. float_of_int iters *. 1e6
+  in
+  let speedup_at_largest = ref 0. in
+  List.iter
+    (fun n ->
+      let full = run_with ~delta:false ~n in
+      let delta = run_with ~delta:true ~n in
+      let sp = full /. delta in
+      speedup_at_largest := sp;
+      Printf.printf
+        "%6d log rows: full %.1f us, delta %.1f us per submission (%.1fx)\n" n
+        full delta sp)
+    sizes;
+  let floor = if smoke then 2.0 else 3.0 in
+  if !speedup_at_largest < floor then begin
+    Printf.printf
+      "FAIL: delta speedup %.2fx at the largest log is below the %.1fx floor\n"
+      !speedup_at_largest floor;
+    exit 1
+  end
+
 let bechamel_case () =
   Common.header "Micro-benchmarks (Bechamel)";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
@@ -266,6 +344,7 @@ let bechamel_case () =
 let run () =
   index_case ();
   parallel_case ();
+  delta_case ();
   (* Smoke mode stops at the regression gates: the Bechamel sweep and
      the plan-cache comparison are measurements, not assertions. *)
   if not !Common.smoke then begin

@@ -20,7 +20,8 @@ let fsync_of_string s =
     | _ -> Error (`Msg (Printf.sprintf "bad fsync interval in %S" s)))
   | _ -> Error (`Msg (Printf.sprintf "unknown fsync policy %S (always|never|interval:N)" s))
 
-let make_engine ~noopt ~with_table2 ?domains ?persist_dir ?persist_fsync () =
+let make_engine ~noopt ~with_table2 ?domains ?delta ?persist_dir ?persist_fsync
+    () =
   let mimic = Mimic.Generate.small_config in
   let db = Mimic.Generate.database ~config:mimic () in
   let config = if noopt then Engine.noopt_config else Engine.default_config in
@@ -30,6 +31,11 @@ let make_engine ~noopt ~with_table2 ?domains ?persist_dir ?persist_fsync () =
     | Some n ->
       Printf.eprintf "--domains %d: must be >= 1\n" n;
       exit 2
+    | None -> config
+  in
+  let config =
+    match delta with
+    | Some b -> { config with Engine.delta = b }
     | None -> config
   in
   let engine =
@@ -80,7 +86,7 @@ let repl_help =
   :policies             list registered policies
   :drop NAME            remove a policy
   :log                  show usage-log sizes (and on-disk state)
-  :stats                show index sizes and plan-cache hit rates
+  :stats                show index, plan-cache and delta-eval statistics
   :checkpoint           force a persistence checkpoint
   :tables               list tables
   :load TABLE FILE.csv  import a CSV file (creates the table if needed)
@@ -89,10 +95,10 @@ let repl_help =
 CREATE/DROP statements (e.g. CREATE INDEX ix ON t USING hash (col))
 run directly; anything else is SQL, checked against the policies|}
 
-let run_repl noopt no_policies domains persist_dir persist_fsync =
+let run_repl noopt no_policies domains delta persist_dir persist_fsync =
   let db, engine =
-    make_engine ~noopt ~with_table2:(not no_policies) ?domains ?persist_dir
-      ?persist_fsync ()
+    make_engine ~noopt ~with_table2:(not no_policies) ?domains ?delta
+      ?persist_dir ?persist_fsync ()
   in
   let uid = ref 1 in
   Printf.printf
@@ -153,7 +159,13 @@ let run_repl noopt no_policies domains persist_dir persist_fsync =
            Printf.printf "  parallel: %d domain%s, %d batches, %d tasks\n"
              domains
              (if domains = 1 then " (serial path)" else "s")
-             batches tasks
+             batches tasks;
+           let d = Engine.delta_stats engine in
+           Printf.printf "  delta plans: %d eligible, %d fallback\n"
+             d.Engine.eligible_plans d.Engine.fallback_plans;
+           Printf.printf "  delta store: %d bases\n" d.Engine.delta_bases;
+           Printf.printf "  delta evals: %d delta, %d full\n"
+             d.Engine.delta_evals d.Engine.full_evals
          end
          else if line = ":checkpoint" then begin
            Engine.persist_checkpoint engine;
@@ -228,9 +240,10 @@ let run_repl noopt no_policies domains persist_dir persist_fsync =
 
 (* check ------------------------------------------------------------------ *)
 
-let run_check policy_files query_file uid domains persist_dir persist_fsync =
+let run_check policy_files query_file uid domains delta persist_dir
+    persist_fsync =
   let db, engine =
-    make_engine ~noopt:false ~with_table2:false ?domains ?persist_dir
+    make_engine ~noopt:false ~with_table2:false ?domains ?delta ?persist_dir
       ?persist_fsync ()
   in
   ignore db;
@@ -304,6 +317,19 @@ let domains =
            batches. $(b,1) forces the serial code path (no pool); the \
            default honours $(b,DL_DOMAINS) or the machine's core count.")
 
+let delta =
+  Arg.(
+    value
+    & opt (some bool) None
+    & info [ "delta" ] ~docv:"BOOL"
+        ~doc:
+          "Incremental policy evaluation: re-check delta-eligible policies \
+           against only the usage-log rows appended since the last accepted \
+           submission, falling back to full re-evaluation where the plan \
+           shape or an invalidation requires it. The default honours \
+           $(b,DL_DELTA) (on unless set to 0). Decisions are identical \
+           either way.")
+
 let persist_dir =
   Arg.(
     value
@@ -333,7 +359,7 @@ let repl_cmd =
     (Cmd.info "repl" ~doc:"Interactive SQL console with policy enforcement")
     Term.(
       ret
-        (const run_repl $ noopt $ no_policies $ domains $ persist_dir
+        (const run_repl $ noopt $ no_policies $ domains $ delta $ persist_dir
        $ persist_fsync))
 
 let check_cmd =
@@ -350,8 +376,8 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Check one query against policies; exit 1 on violation")
     Term.(
       ret
-        (const run_check $ policies $ query $ uid $ domains $ persist_dir
-       $ persist_fsync))
+        (const run_check $ policies $ query $ uid $ domains $ delta
+       $ persist_dir $ persist_fsync))
 
 let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Short guided tour") Term.(ret (const run_demo $ const ()))

@@ -27,6 +27,7 @@ type config = {
   improved_partial : bool;
   strategy : strategy;
   domains : int;
+  delta : bool;
 }
 
 (* Default evaluation parallelism: the DL_DOMAINS environment variable
@@ -42,6 +43,13 @@ let default_domains =
     | Some _ | None -> 1)
   | None -> max 1 (Domain.recommended_domain_count () - 1)
 
+(* Incremental policy evaluation defaults on; DL_DELTA=0 pins the
+   pre-existing full-re-evaluation path (CI runs the suite both ways). *)
+let default_delta =
+  match Sys.getenv_opt "DL_DELTA" with
+  | Some s -> String.trim s <> "0"
+  | None -> true
+
 (* The NoOpt baseline (Algorithm 1): generate the logs the policies
    mention, evaluate the union of all policies, never compact. *)
 let noopt_config =
@@ -53,6 +61,7 @@ let noopt_config =
     improved_partial = false;
     strategy = Union_all;
     domains = default_domains;
+    delta = default_delta;
   }
 
 (* DataLawyer with every optimization enabled (§4.4). *)
@@ -65,6 +74,7 @@ let default_config =
     improved_partial = true;
     strategy = Interleaved;
     domains = default_domains;
+    delta = default_delta;
   }
 
 type plan = {
@@ -106,6 +116,10 @@ type t = {
           from the process-wide registry when [config.domains > 1] *)
   mutable par_batches : int;  (** parallel batches dispatched *)
   mutable par_tasks : int;  (** tasks executed across those batches *)
+  delta_store : Incremental.Delta_store.t;
+      (** per-policy emptiness bases for incremental evaluation; written
+          only between submissions, read (with atomic counters) by pool
+          workers during batches *)
 }
 
 type outcome =
@@ -221,6 +235,7 @@ let create ?(config = default_config) ?(generators = Usage_log.standard)
       pool = None;
       par_batches = 0;
       par_tasks = 0;
+      delta_store = Incremental.Delta_store.create ();
     }
   in
   (match persist_dir with
@@ -244,7 +259,11 @@ let is_log t rel = Catalog.is_log (Database.catalog t.db) rel
    the other. *)
 let invalidate t =
   t.plan <- None;
-  Catalog.touch (Database.catalog t.db)
+  Catalog.touch (Database.catalog t.db);
+  (* Bases are keyed on the generation we just bumped, so they are all
+     dead; dropping them keeps the store from accreting entries for
+     renamed or retired policies. *)
+  Incremental.Delta_store.reset t.delta_store
 
 let set_config t config =
   t.config <- config;
@@ -514,6 +533,114 @@ let message_of_result (p : Policy.t) (r : Executor.result) =
   | { Executor.values = [| Value.Str m |]; _ } :: _ -> m
   | _ -> p.Policy.message
 
+(* Incremental evaluation --------------------------------------------------- *)
+
+(* The compiled delta variants of a policy's query, via the per-domain
+   prepared cache; [None] when delta evaluation is off or the query is
+   not delta-eligible (see {!Optimizer.derive_delta}). *)
+let delta_entry t (p : Policy.t) : Executor.delta_compiled option =
+  if not t.config.delta then None
+  else
+    Prepared.prepare_delta t.prepared ~is_log:(is_log t)
+      ~clock_rel:Usage_log.clock_relation p.Policy.query
+
+(* Try to decide a policy from its delta plans alone. [Some res] is a
+   verdict: the policy's result over the full tentative state is empty
+   iff [res = None], and a non-empty [res] carries rows whose projections
+   are the policy's literal message (eligibility guarantees all-constant
+   projections, so the rows agree with full evaluation's). [None] means
+   no shortcut — delta off, plan ineligible, or the base invalidated —
+   and the caller must evaluate in full.
+
+   Soundness: a valid base says the query was empty over the state below
+   the log relations' delta watermarks, the catalog generation is
+   unchanged (no DDL / config / policy-set change), and every referenced
+   table's version counter matches its snapshot — so plain relations are
+   untouched and log relations have only gained rows above the watermark
+   or lost rows (both monotone-safe). Under those facts any result row
+   over the current state must bind at least one log slot to a delta
+   tuple, and the per-slot variants enumerate exactly those bindings. *)
+let delta_try t ~(stats : Stats.t) (p : Policy.t) :
+    Executor.result option option =
+  match delta_entry t p with
+  | None -> None
+  | Some entry ->
+    let cat = Database.catalog t.db in
+    let gen = Catalog.generation cat in
+    let vers = Incremental.Delta_store.snapshot cat entry.Executor.delta_deps in
+    if not (Incremental.Delta_store.valid t.delta_store p.Policy.name ~gen ~vers)
+    then begin
+      Incremental.Delta_store.note_full_eval t.delta_store;
+      None
+    end
+    else begin
+      Incremental.Delta_store.note_delta_eval t.delta_store;
+      Stats.timed
+        (fun d -> stats.Stats.policy_eval <- stats.Stats.policy_eval +. d)
+        (fun () ->
+          stats.Stats.policy_calls <- stats.Stats.policy_calls + 1;
+          let rec go = function
+            | [] -> Some None
+            | c :: rest ->
+              let r = Executor.run_compiled c in
+              if r.Executor.out_rows = [] then go rest else Some (Some r)
+          in
+          go entry.Executor.delta_variants)
+    end
+
+(* After an accepted submission: acceptance proved every active policy
+   empty over the tentative state, of which the just-committed state is a
+   subset (monotonicity), so every policy is empty over the committed
+   state. Advance all log watermarks to the committed frontier and record
+   a base for each delta-eligible policy in the same breath — the
+   alignment of watermark and snapshot is what {!delta_try}'s soundness
+   argument rests on. *)
+let establish_bases t (pl : plan) =
+  let cat = Database.catalog t.db in
+  List.iter
+    (fun (g : Usage_log.generator) ->
+      match Catalog.find_opt cat g.Usage_log.relation with
+      | Some table -> Table.mark_delta_base table
+      | None -> ())
+    t.generators;
+  let gen = Catalog.generation cat in
+  List.iter
+    (fun (p : Policy.t) ->
+      match delta_entry t p with
+      | None -> ()
+      | Some entry ->
+        let vers =
+          Incremental.Delta_store.snapshot cat entry.Executor.delta_deps
+        in
+        Incremental.Delta_store.establish t.delta_store p.Policy.name ~gen
+          ~vers)
+    pl.active
+
+type delta_stats = {
+  eligible_plans : int;
+  fallback_plans : int;
+  delta_bases : int;
+  delta_evals : int;
+  full_evals : int;
+}
+
+let delta_stats t : delta_stats =
+  let pl = plan t in
+  let eligible, fallback =
+    List.fold_left
+      (fun (e, f) p ->
+        if Option.is_some (delta_entry t p) then (e + 1, f) else (e, f + 1))
+      (0, 0) pl.active
+  in
+  let s = Incremental.Delta_store.stats t.delta_store in
+  {
+    eligible_plans = eligible;
+    fallback_plans = fallback;
+    delta_bases = s.Incremental.Delta_store.bases;
+    delta_evals = s.Incremental.Delta_store.delta_evals;
+    full_evals = s.Incremental.Delta_store.full_evals;
+  }
+
 (* §4.3 improved partial policies: a non-empty partial result whose rows
    draw only on committed (pre-increment) log tuples proves the policy
    still holds, provided the policy's log relations are all ts-joined and
@@ -570,9 +697,13 @@ let independent_of_increment t ~(stats : Stats.t) (sub : submission)
 let eval_full t (sub : submission) (pool : Parallel.Pool.t option)
     (ps : Policy.t list) : (Policy.t * string) list =
   let eval stats p =
-    match eval_query t ~stats p.Policy.query with
-    | Some r -> Some (p, message_of_result p r)
-    | None -> None
+    match delta_try t ~stats p with
+    | Some None -> None (* delta plans all empty: policy holds *)
+    | Some (Some r) -> Some (p, message_of_result p r)
+    | None -> (
+      match eval_query t ~stats p.Policy.query with
+      | Some r -> Some (p, message_of_result p r)
+      | None -> None)
   in
   match pool with
   | Some pool when List.length ps > 1 ->
@@ -605,15 +736,35 @@ let run_interleaved t (sub : submission) (pool : Parallel.Pool.t option)
           (* Interleavable policies evaluate the genuine πS; policies
              admitted via core-prunability evaluate the monotone
              HAVING-stripped core instead (empty core ⇒ π empty). *)
-          let pq = Partial.of_query ~is_log ~available:!available p.Policy.query in
-          let pq = if p.Policy.interleavable then pq else Partial.strip_having pq in
-          match eval_query t ~stats pq with
-          | None -> false (* partial policy empty: π satisfied *)
-          | Some _ when
-              p.Policy.interleavable && t.config.improved_partial
-              && independent_of_increment t ~stats sub p pq ->
-            false
-          | Some _ -> true
+          let full stats p =
+            let pq =
+              Partial.of_query ~is_log ~available:!available p.Policy.query
+            in
+            let pq =
+              if p.Policy.interleavable then pq else Partial.strip_having pq
+            in
+            match eval_query t ~stats pq with
+            | None -> false (* partial policy empty: π satisfied *)
+            | Some _ when
+                p.Policy.interleavable && t.config.improved_partial
+                && independent_of_increment t ~stats sub p pq ->
+              false
+            | Some _ -> true
+          in
+          (* Once every log relation of an interleavable policy is
+             available, πS is the policy itself, so a delta-proved-empty
+             verdict prunes it exactly as an empty πS would. Only the
+             empty verdict short-circuits: a non-empty delta result must
+             still flow through the original evaluation, where the
+             improved-partial independence check may yet dismiss it. *)
+          let covered =
+            List.for_all (fun r -> List.mem r !available) p.Policy.log_rels
+          in
+          if covered && p.Policy.interleavable then
+            match delta_try t ~stats p with
+            | Some None -> false
+            | Some (Some _) | None -> full stats p
+          else full stats p
         in
         remaining :=
           (match pool with
@@ -652,7 +803,10 @@ let run_union t (sub : submission) (pool : Parallel.Pool.t option)
       | Some pool when others <> [] ->
         let rs =
           par_map t sub pool
-            (fun stats p -> eval_query t ~stats p.Policy.query)
+            (fun stats p ->
+              match delta_try t ~stats p with
+              | Some res -> res
+              | None -> eval_query t ~stats p.Policy.query)
             ps
         in
         if List.for_all Option.is_none rs then None
@@ -662,15 +816,39 @@ let run_union t (sub : submission) (pool : Parallel.Pool.t option)
                (function Some r -> r.Executor.out_rows | None -> [])
                rs)
       | Some _ | None ->
-        let union_q =
-          List.fold_left
-            (fun acc p ->
-              Ast.Union { all = false; left = acc; right = p.Policy.query })
-            first.Policy.query others
+        (* Delta-decided policies peel off the UNION: each one's verdict
+           comes from its delta plans alone, contributing its violation
+           rows (all-constant projections, so exactly the rows full
+           evaluation would add); the rest evaluate through the original
+           UNION chain. Both row sets feed the same message extraction
+           below, keeping the outcome identical to all-full evaluation. *)
+        let delta_rows = ref [] in
+        let fallback =
+          List.filter
+            (fun p ->
+              match delta_try t ~stats:sub.stats p with
+              | Some None -> false
+              | Some (Some r) ->
+                delta_rows := !delta_rows @ r.Executor.out_rows;
+                false
+              | None -> true)
+            ps
         in
-        (match eval_query t ~stats:sub.stats union_q with
-        | None -> None
-        | Some r -> Some r.Executor.out_rows)
+        let union_rows =
+          match fallback with
+          | [] -> []
+          | f :: rest ->
+            let union_q =
+              List.fold_left
+                (fun acc p ->
+                  Ast.Union { all = false; left = acc; right = p.Policy.query })
+                f.Policy.query rest
+            in
+            (match eval_query t ~stats:sub.stats union_q with
+            | None -> []
+            | Some r -> r.Executor.out_rows)
+        in
+        (match union_rows @ !delta_rows with [] -> None | rows -> Some rows)
     in
     (match violated_rows with
     | None -> []
@@ -888,13 +1066,27 @@ let commit_logs t (sub : submission) (pool : Parallel.Pool.t option) (pl : plan)
     List.iter
       (fun rel ->
         let table = Database.table t.db rel in
-        let increment, sp =
-          match Hashtbl.find_opt sub.generated rel with
-          | Some sp -> (Table.rows_since table sp, Some sp)
-          | None -> ([], None)
+        let sp = Hashtbl.find_opt sub.generated rel in
+        let mark = Hashtbl.find_opt marks rel in
+        (* Materialize only the retained part of the increment (the marks
+           are final at this point), before rollback truncates it. *)
+        let kept =
+          match sp with
+          | None -> []
+          | Some sp ->
+            List.rev
+              (Table.fold_since
+                 (fun acc row ->
+                   let keep =
+                     match mark with
+                     | None -> false
+                     | Some Mark_all -> true
+                     | Some (Mark_tids keep) -> Hashtbl.mem keep (Row.tid row)
+                   in
+                   if keep then Row.cells row :: acc else acc)
+                 [] table sp)
         in
         Option.iter (fun sp -> Table.rollback_to table sp) sp;
-        let mark = Hashtbl.find_opt marks rel in
         (match mark with
         | None ->
           (* Relation skipped preemptively: nothing retained, nothing
@@ -910,22 +1102,12 @@ let commit_logs t (sub : submission) (pool : Parallel.Pool.t option) (pl : plan)
         Stats.timed
           (fun d -> stats.Stats.compact_insert <- stats.Stats.compact_insert +. d)
           (fun () ->
-            let kept = ref [] in
             List.iter
-              (fun row ->
-                let keep =
-                  match mark with
-                  | None -> false
-                  | Some Mark_all -> true
-                  | Some (Mark_tids keep) -> Hashtbl.mem keep (Row.tid row)
-                in
-                if keep then begin
-                  ignore (Table.insert table (Row.cells row));
-                  kept := Row.cells row :: !kept;
-                  stats.Stats.rows_logged <- stats.Stats.rows_logged + 1
-                end)
-              increment;
-            note_increment rel (List.rev !kept)))
+              (fun cells ->
+                ignore (Table.insert table cells);
+                stats.Stats.rows_logged <- stats.Stats.rows_logged + 1)
+              kept;
+            note_increment rel kept))
       pl.store_rels;
     (* Roll back increments of relations generated for evaluation only. *)
     Hashtbl.iter
@@ -1002,6 +1184,7 @@ let submit_ast t ~(uid : int) ?(extra = []) (query : Ast.query) : outcome =
     end
     else begin
       commit_logs t sub pool pl ~now;
+      if t.config.delta then establish_bases t pl;
       let result =
         Stats.timed
           (fun d -> sub.stats.Stats.query_exec <- sub.stats.Stats.query_exec +. d)

@@ -29,12 +29,27 @@ type config = {
           drives the batches through a shared pool of [n - 1] worker
           domains with the submitting domain helping. Defaults to
           {!default_domains}. *)
+  delta : bool;
+      (** incremental (delta-driven) policy evaluation: after each
+          accepted submission the engine records that every delta-eligible
+          policy (see {!Relational.Optimizer.derive_delta}) was proved
+          empty over the committed log, and later submissions re-check it
+          by scanning only the rows above the log relations' watermarks.
+          Policies whose plans are not eligible — or whose recorded base
+          was invalidated by DDL, configuration or policy changes, or
+          non-monotone table mutations — transparently fall back to full
+          re-evaluation, so decisions, messages and log contents are
+          identical either way. Defaults to {!default_delta}. *)
 }
 
 (** The default for {!config}[.domains]: [DL_DOMAINS] from the
     environment when set (and a valid positive integer), otherwise
     [Domain.recommended_domain_count () - 1], floored at 1. *)
 val default_domains : int
+
+(** The default for {!config}[.delta]: on, unless the environment sets
+    [DL_DELTA=0]. *)
+val default_delta : bool
 
 (** The NoOpt baseline of Algorithm 1: generate only the logs the
     policies mention, evaluate their union, never compact. *)
@@ -120,6 +135,24 @@ val clear_plan_cache : t -> unit
     across them). Batches and tasks stay 0 on the serial path
     ([domains = 1]). *)
 val parallel_stats : t -> int * int * int
+
+(** Incremental-evaluation counters, under the current configuration. *)
+type delta_stats = {
+  eligible_plans : int;
+      (** active policies whose queries derive delta plans; 0 when
+          {!config}[.delta] is off (everything evaluates in full) *)
+  fallback_plans : int;  (** active policies that always evaluate in full *)
+  delta_bases : int;  (** policies with a currently recorded base *)
+  delta_evals : int;  (** policy evaluations served by delta plans *)
+  full_evals : int;
+      (** evaluations of a delta-eligible policy that fell back to a full
+          re-run (no base yet, or the base was invalidated) *)
+}
+
+(** Snapshot of the incremental-evaluation state: plan eligibility over
+    the current active policy set plus the engine-lifetime delta/full
+    evaluation counters. Forces the offline plan if stale. *)
+val delta_stats : t -> delta_stats
 
 (** Check-and-execute one query (the §4.4 online phase). [extra] is
     passed to custom log-generating functions. *)

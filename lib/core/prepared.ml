@@ -35,6 +35,8 @@ type key = { q : Ast.query; lineage : bool; track_src : bool }
 
 type shard = {
   cache : (key, Executor.compiled) Hashtbl.t;
+  delta : (Ast.query, Executor.delta_compiled option) Hashtbl.t;
+      (** delta-plan derivations, [None] caching ineligibility *)
   mutable gen : int;
   mutable hits : int;
   mutable misses : int;
@@ -64,6 +66,7 @@ let shard_for t : shard =
       let s =
         {
           cache = Hashtbl.create 64;
+          delta = Hashtbl.create 16;
           gen = Catalog.generation t.cat;
           hits = 0;
           misses = 0;
@@ -79,6 +82,7 @@ let sync t (s : shard) =
   let g = Catalog.generation t.cat in
   if g <> s.gen then begin
     Hashtbl.reset s.cache;
+    Hashtbl.reset s.delta;
     s.gen <- g
   end
 
@@ -100,6 +104,21 @@ let prepare t ?(opts = Executor.default_opts) (q : Ast.query) : Executor.compile
     s.misses <- s.misses + 1;
     c
 
+(* Delta derivations share the shard discipline: derived once per
+   (domain, generation), ineligibility cached as [None] so the
+   eligibility analysis also runs at most once per query. *)
+let prepare_delta t ~is_log ~clock_rel (q : Ast.query) :
+    Executor.delta_compiled option =
+  let s = shard_for t in
+  sync t s;
+  match Hashtbl.find_opt s.delta q with
+  | Some d -> d
+  | None ->
+    let d = Executor.prepare_delta t.cat ~is_log ~clock_rel q in
+    if Hashtbl.length s.delta >= capacity then Hashtbl.reset s.delta;
+    Hashtbl.replace s.delta q d;
+    d
+
 let run t ?opts q = Executor.run_compiled (prepare t ?opts q)
 
 let is_empty t ?opts q = (run t ?opts q).Executor.out_rows = []
@@ -118,5 +137,9 @@ let stats t =
 
 let clear t =
   Mutex.lock t.lock;
-  Hashtbl.iter (fun _ s -> Hashtbl.reset s.cache) t.shards;
+  Hashtbl.iter
+    (fun _ s ->
+      Hashtbl.reset s.cache;
+      Hashtbl.reset s.delta)
+    t.shards;
   Mutex.unlock t.lock

@@ -20,6 +20,16 @@ val create : Catalog.t -> t
     @raise Errors.Sql_error on binding failures (never cached). *)
 val prepare : t -> ?opts:Executor.opts -> Ast.query -> Executor.compiled
 
+(** Fetch or derive+compile the delta variants of [q] (see
+    {!Executor.prepare_delta}); ineligibility ([None]) is cached too, so
+    the analysis runs once per (domain, generation). *)
+val prepare_delta :
+  t ->
+  is_log:(string -> bool) ->
+  clock_rel:string ->
+  Ast.query ->
+  Executor.delta_compiled option
+
 (** [prepare] + execute. *)
 val run : t -> ?opts:Executor.opts -> Ast.query -> Executor.result
 

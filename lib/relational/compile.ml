@@ -448,6 +448,15 @@ and compile_select (cat : Catalog.t) (opts : opts) (sp : Plan.select_plan) : t =
                 Table.fold (fun acc row -> annotate row :: acc) [] table
               in
               List.rev rows
+          | Plan.Delta ->
+            (* The watermark is read per execution, not captured: the
+               same compiled plan keeps scanning the current delta as
+               the engine advances [Table.delta_base]. *)
+            fun () ->
+              let rows =
+                Table.fold_delta (fun acc row -> annotate row :: acc) [] table
+              in
+              List.rev rows
           | Plan.Index_eq { index; key } ->
             let ix =
               match Table.find_index table index with

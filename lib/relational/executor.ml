@@ -31,6 +31,21 @@ let prepare_unoptimized ?(opts = default_opts) (cat : Catalog.t) (q : Ast.query)
     : compiled =
   Compile.compile cat opts (Plan.of_query cat q)
 
+type delta_compiled = {
+  delta_deps : (string * bool) list;
+  delta_variants : compiled list;
+}
+
+let prepare_delta ?(opts = default_opts) (cat : Catalog.t) ~is_log ~clock_rel
+    (q : Ast.query) : delta_compiled option =
+  Option.map
+    (fun (d : Optimizer.delta_plans) ->
+      {
+        delta_deps = d.Optimizer.deps;
+        delta_variants = List.map (Compile.compile cat opts) d.Optimizer.variants;
+      })
+    (Optimizer.derive_delta cat ~is_log ~clock_rel q)
+
 let run_compiled (c : compiled) : result =
   let rows = c.Compile.exec () in
   {

@@ -38,6 +38,26 @@ val prepare : ?opts:opts -> Catalog.t -> Ast.query -> compiled
     used by differential tests. *)
 val prepare_unoptimized : ?opts:opts -> Catalog.t -> Ast.query -> compiled
 
+(** Compiled delta variants of a delta-eligible query (see
+    {!Optimizer.derive_delta}): [delta_deps] are the base tables whose
+    version counters validate the engine's emptiness proof, and
+    [delta_variants] the compiled per-log-slot plans whose union equals
+    the query over (proved-empty state) ∪ (appended delta). *)
+type delta_compiled = {
+  delta_deps : (string * bool) list;
+  delta_variants : compiled list;
+}
+
+(** Derive and compile the delta variants of a query; [None] if the
+    query is not delta-eligible. *)
+val prepare_delta :
+  ?opts:opts ->
+  Catalog.t ->
+  is_log:(string -> bool) ->
+  clock_rel:string ->
+  Ast.query ->
+  delta_compiled option
+
 (** Execute a compiled plan.
     @raise Errors.Sql_error on runtime failures. *)
 val run_compiled : compiled -> result

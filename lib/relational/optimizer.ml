@@ -266,6 +266,11 @@ let select_access (table : Table.t) (preds : Plan.pexpr list) :
         ( Plan.Index_range { index = Index.name ix; lo = wrap !lo; hi = wrap !hi },
           remaining ))
 
+type delta_plans = {
+  deps : (string * bool) list;
+  variants : Plan.query list;
+}
+
 let rec optimize (cat : Catalog.t) (q : Plan.query) : Plan.query =
   match q with
   | Plan.Union { all; left; right } ->
@@ -400,3 +405,77 @@ and optimize_select (cat : Catalog.t) (sp : Plan.select_plan) : Plan.select_plan
     let finish = map_finish (remap tbl) finish in
     { Plan.slots; const_preds; scan_preds; joins; finish }
   end
+
+(* Delta derivation --------------------------------------------------------- *)
+
+(* A query is delta-eligible when it is a single select-project-join over
+   base-table scans whose every projection is a literal (the policy's
+   violation message), with no aggregation, ordering or limit, and no
+   scan of the clock relation (whose single row is rewritten in place
+   each submission, outside the append-only delta discipline). For such
+   a query Q and disjoint states S (proved empty) and Δ (appended rows),
+   monotonicity gives
+
+     Q(S ∪ Δ) = ⋃ over log slots i of Q with slot i restricted to Δ
+
+   — any result row must bind at least one slot to a Δ tuple, and the
+   per-slot variants cover every such binding. Each variant is optimized
+   independently, so its non-delta slots still get index probes. *)
+let derive_delta (cat : Catalog.t) ~(is_log : string -> bool)
+    ~(clock_rel : string) (q : Ast.query) : delta_plans option =
+  match Plan.of_query cat q with
+  | exception Errors.Sql_error _ -> None
+  | Plan.Union _ -> None
+  | Plan.Select sp ->
+    let f = sp.Plan.finish in
+    let clock = String.lowercase_ascii clock_rel in
+    (* Canonical table name per slot; None for subquery slots. *)
+    let scans =
+      Array.map
+        (fun (sl : Plan.slot) ->
+          match sl.Plan.source with
+          | Plan.Scan (name, _) ->
+            Option.map Table.name (Catalog.find_opt cat name)
+          | Plan.Sub _ -> None)
+        sp.Plan.slots
+    in
+    let eligible =
+      Array.for_all
+        (function
+          | Some n -> String.lowercase_ascii n <> clock
+          | None -> false)
+        scans
+      && (not f.Plan.aggregated)
+      && Array.length f.Plan.aggs = 0
+      && f.Plan.order_by = []
+      && f.Plan.limit = None
+      && f.Plan.projs <> []
+      && List.for_all is_const f.Plan.projs
+    in
+    if not eligible then None
+    else begin
+      let names = Array.map Option.get scans in
+      let deps =
+        List.sort_uniq compare
+          (Array.to_list (Array.map (fun n -> (n, is_log n)) names))
+      in
+      let variants = ref [] in
+      Array.iteri
+        (fun i n ->
+          if is_log n then begin
+            let slots =
+              Array.mapi
+                (fun j (sl : Plan.slot) ->
+                  match sl.Plan.source with
+                  | Plan.Scan (tname, _) when j = i ->
+                    { sl with Plan.source = Plan.Scan (tname, Plan.Delta) }
+                  | _ -> sl)
+                sp.Plan.slots
+            in
+            variants :=
+              optimize cat (Plan.Select { sp with Plan.slots = slots })
+              :: !variants
+          end)
+        names;
+      Some { deps; variants = List.rev !variants }
+    end

@@ -9,3 +9,29 @@
     {!Catalog.generation}) when indexes change. *)
 
 val optimize : Catalog.t -> Plan.query -> Plan.query
+
+(** Result of {!derive_delta}: the base tables the query reads (canonical
+    name, is-it-a-log-relation — the incremental engine snapshots their
+    version counters to validate its emptiness proof) and one optimized
+    plan per log-relation slot with that slot's scan restricted to the
+    table's delta ({!Plan.Delta}). *)
+type delta_plans = {
+  deps : (string * bool) list;
+  variants : Plan.query list;
+}
+
+(** Delta-plan derivation for incremental policy evaluation. Returns
+    [None] unless the query is delta-eligible: a single
+    select-project-join over base-table scans (no UNION, no subqueries),
+    no aggregation / ORDER BY / LIMIT, every projection a literal (so a
+    non-empty result carries the same constant message regardless of
+    which variant produced it), and no scan of [clock_rel]. For an
+    eligible query proved empty over the pre-delta state, the union of
+    the returned variants equals the query over the grown state — see
+    the soundness argument in the implementation. *)
+val derive_delta :
+  Catalog.t ->
+  is_log:(string -> bool) ->
+  clock_rel:string ->
+  Ast.query ->
+  delta_plans option

@@ -35,6 +35,10 @@ type pexpr =
     NULL key or bound yields no rows (SQL comparison semantics). *)
 type access =
   | Heap
+  | Delta
+      (** walk only the rows at or above the table's delta watermark
+          ({!Table.delta_base}), read at execution time so one compiled
+          plan stays valid as the watermark advances *)
   | Index_eq of { index : string; key : pexpr }
   | Index_range of {
       index : string;

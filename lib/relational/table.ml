@@ -25,6 +25,15 @@ type t = {
   mutable in_txn : bool;
   mutable frozen : bool;
   mutable indexes : Index.t list;
+  mutable delta_base : int;
+      (* tid watermark for incremental policy evaluation: rows with
+         tid >= delta_base form the delta (Δ) against the state the
+         engine last proved its policies empty over *)
+  mutable ver_mut : int;  (* bumped by every mutation *)
+  mutable ver_unsafe : int;
+      (* bumped only by the mutations that can grow a monotone query's
+         result without appending new tids: update_where, clear,
+         bulk_load (recovery reload) *)
 }
 
 (* Extra consistency checks (tid monotonicity on insert); off by default,
@@ -42,6 +51,9 @@ let create ~name ~schema =
     in_txn = false;
     frozen = false;
     indexes = [];
+    delta_base = 0;
+    ver_mut = 0;
+    ver_unsafe = 0;
   }
 
 (* Freeze markers: the engine freezes every table for the span of a
@@ -104,6 +116,7 @@ let insert t cells =
   check_cells t cells;
   let tid = t.next_tid in
   t.next_tid <- tid + 1;
+  t.ver_mut <- t.ver_mut + 1;
   (* Invariant: rows are tid-sorted (see [find_by_tid] and the index
      access paths). [next_tid] only grows, so appends preserve it; the
      assert guards any future bulk path that constructs rows directly. *)
@@ -189,11 +202,13 @@ let guard_no_txn t op =
 
 let bulk_load t rows =
   guard_no_txn t "bulk_load";
+  t.ver_unsafe <- t.ver_unsafe + 1;
   List.iter (fun cells -> ignore (insert t cells)) rows
 
 (* Keep rows satisfying [keep_row], unhooking the dropped ones from every
    index; returns the number removed. *)
 let filter_rows t keep_row =
+  t.ver_mut <- t.ver_mut + 1;
   if t.indexes <> [] then
     Vec.iter (fun r -> if not (keep_row r) then index_remove t r) t.rows;
   Vec.filter_in_place keep_row t.rows
@@ -209,6 +224,8 @@ let delete_where t pred =
 
 let clear t =
   guard_no_txn t "clear";
+  t.ver_mut <- t.ver_mut + 1;
+  t.ver_unsafe <- t.ver_unsafe + 1;
   List.iter Index.clear t.indexes;
   Vec.clear t.rows
 
@@ -216,6 +233,8 @@ let clear t =
 
 let update_where t pred f =
   guard_no_txn t "update_where";
+  t.ver_mut <- t.ver_mut + 1;
+  t.ver_unsafe <- t.ver_unsafe + 1;
   let n = ref 0 in
   Vec.iteri
     (fun i r ->
@@ -242,6 +261,7 @@ let savepoint t : savepoint =
 let rollback_to t (sp : savepoint) =
   guard_frozen t "rollback_to";
   t.in_txn <- false;
+  t.ver_mut <- t.ver_mut + 1;
   if t.indexes <> [] then
     for i = Vec.length t.rows - 1 downto sp do
       index_remove t (Vec.get t.rows i)
@@ -266,6 +286,33 @@ let iter_since f t (sp : savepoint) =
 let fold_since f init t (sp : savepoint) =
   let acc = ref init in
   for i = sp to Vec.length t.rows - 1 do
+    acc := f !acc (Vec.get t.rows i)
+  done;
+  !acc
+
+(* Delta watermark --------------------------------------------------------- *)
+
+let delta_base t = t.delta_base
+
+let mark_delta_base t = t.delta_base <- t.next_tid
+
+let ver_mut t = t.ver_mut
+
+let ver_unsafe t = t.ver_unsafe
+
+(* Fold over the delta: rows with tid >= delta_base. Rows are tid-sorted
+   (module invariant), so a binary lower bound finds the start. *)
+let fold_delta f init t =
+  let n = Vec.length t.rows in
+  let base = t.delta_base in
+  let rec lb lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if Row.tid (Vec.get t.rows mid) < base then lb (mid + 1) hi else lb lo mid
+  in
+  let acc = ref init in
+  for i = lb 0 n to n - 1 do
     acc := f !acc (Vec.get t.rows i)
   done;
   !acc

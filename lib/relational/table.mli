@@ -131,6 +131,7 @@ val release : t -> savepoint -> unit
 (** Rows appended since the savepoint (the tentative increment), in
     insertion order. *)
 val rows_since : t -> savepoint -> Row.t list
+  [@@ocaml.deprecated "builds an intermediate list; use fold_since or iter_since"]
 
 (** Iterate the rows appended since the savepoint without building a
     list. *)
@@ -139,5 +140,37 @@ val iter_since : (Row.t -> unit) -> t -> savepoint -> unit
 (** Fold over the rows appended since the savepoint without building a
     list. *)
 val fold_since : ('acc -> Row.t -> 'acc) -> 'acc -> t -> savepoint -> 'acc
+
+(** {1 Delta watermark}
+
+    Support for the engine's incremental policy evaluation: after it has
+    proved every policy empty over the current state, the engine marks
+    each log relation's watermark; rows appended later (which always
+    carry larger tids — see the module invariant) form the delta the
+    next evaluation joins against the indexed state. The version
+    counters let the engine detect mutations that invalidate that
+    proof. *)
+
+(** Current watermark tid (0 until {!mark_delta_base} is first called). *)
+val delta_base : t -> int
+
+(** Set the watermark to the next tid to be handed out: every row
+    currently in the table is below it, every future append above. *)
+val mark_delta_base : t -> unit
+
+(** Bumped by every mutation ([insert], [bulk_load], [delete_where],
+    [retain_tids], [update_where], [rollback_to], [clear]). *)
+val ver_mut : t -> int
+
+(** Bumped only by mutations that can grow a monotone query's result
+    without appending fresh tids: [update_where], [clear] and
+    [bulk_load]. Pure removals ([delete_where], [retain_tids],
+    [rollback_to]) and appends (watermarked by tid) leave it alone. *)
+val ver_unsafe : t -> int
+
+(** Fold over the delta — the rows with tid >= {!delta_base}, in tid
+    order — without touching the rest of the heap (binary lower bound,
+    then a tail walk). *)
+val fold_delta : ('acc -> Row.t -> 'acc) -> 'acc -> t -> 'acc
 
 val pp : Format.formatter -> t -> unit

@@ -23,5 +23,6 @@ let () =
       ("plan_diff", Test_plan_diff.suite);
       ("parallel", Test_parallel.suite);
       ("parallel_diff", Test_parallel_diff.suite);
+      ("delta_diff", Test_delta_diff.suite);
       ("properties", Test_props.suite);
     ]
