@@ -14,6 +14,7 @@ let experiments =
     ("ablate", Ablate.run);
     ("persist", Persist.run);
     ("micro", fun _ -> Micro.run ());
+    ("load", Load.run);
   ]
 
 let () =

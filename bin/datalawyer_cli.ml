@@ -76,6 +76,28 @@ let make_engine ~noopt ~with_table2 ?domains ?delta ?persist_dir ?persist_fsync
       (Workload.Policies.all ~n_patients:mimic.Mimic.Generate.n_patients ());
   (db, engine)
 
+(* serve ------------------------------------------------------------------ *)
+
+(* [repl --serve PORT]: run the policy server instead of the console.
+   Blocks until stdin closes or Ctrl-C, then shuts down cleanly (drains
+   the admission queue, closes the store, stops the domain pools). *)
+let run_server engine ~port ~max_batch =
+  let config = { Server.Tcp.default_config with Server.Tcp.port; max_batch } in
+  let srv = Server.Tcp.start ~config engine in
+  Printf.printf
+    "policy server listening on %s:%d (admission batches of <= %d)\n\
+     Ctrl-C or EOF on stdin stops it\n\
+     %!"
+    config.Server.Tcp.host (Server.Tcp.port srv) max_batch;
+  Sys.catch_break true;
+  let rec wait () =
+    match In_channel.input_line stdin with Some _ -> wait () | None -> ()
+  in
+  (try wait () with Sys.Break -> ());
+  print_endline "shutting down";
+  Server.Tcp.stop ~close_engine:true srv;
+  `Ok ()
+
 (* repl ------------------------------------------------------------------- *)
 
 let repl_help =
@@ -95,11 +117,25 @@ let repl_help =
 CREATE/DROP statements (e.g. CREATE INDEX ix ON t USING hash (col))
 run directly; anything else is SQL, checked against the policies|}
 
-let run_repl noopt no_policies domains delta persist_dir persist_fsync =
+let run_repl noopt no_policies domains delta persist_dir persist_fsync serve
+    serve_batch =
+  (* Under --serve the admission pipeline group-commits: it forces one
+     synced flush per batch, so the WAL itself should buffer. An
+     explicit --fsync still wins. *)
+  let persist_fsync =
+    match (serve, persist_fsync) with
+    | Some _, None -> Some Persistence.Store.Never
+    | _ -> persist_fsync
+  in
   let db, engine =
     make_engine ~noopt ~with_table2:(not no_policies) ?domains ?delta
       ?persist_dir ?persist_fsync ()
   in
+  match serve with
+  | Some port ->
+    ignore db;
+    run_server engine ~port ~max_batch:serve_batch
+  | None ->
   let uid = ref 1 in
   Printf.printf
     "DataLawyer console — synthetic MIMIC instance%s\ntype :help for commands\n"
@@ -165,7 +201,18 @@ let run_repl noopt no_policies domains delta persist_dir persist_fsync =
              d.Engine.eligible_plans d.Engine.fallback_plans;
            Printf.printf "  delta store: %d bases\n" d.Engine.delta_bases;
            Printf.printf "  delta evals: %d delta, %d full\n"
-             d.Engine.delta_evals d.Engine.full_evals
+             d.Engine.delta_evals d.Engine.full_evals;
+           let b = Engine.batch_stats engine in
+           Printf.printf
+             "  admission batches: %d fast, %d retried, %d serial (%d batched \
+              submissions)\n"
+             b.Engine.fast_batches b.Engine.retried_batches
+             b.Engine.serial_batches b.Engine.batched_submissions;
+           match Engine.persist_store engine with
+           | Some store ->
+             Printf.printf "  group-commit fsyncs: %d\n"
+               (Persistence.Store.fsyncs store)
+           | None -> ()
          end
          else if line = ":checkpoint" then begin
            Engine.persist_checkpoint engine;
@@ -354,13 +401,36 @@ let persist_fsync =
            $(b,interval:N) (fsync every N commits, the default with N=32), or \
            $(b,never) (leave flushing to the OS).")
 
+let serve =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "serve" ] ~docv:"PORT"
+        ~doc:
+          "Run the multi-tenant policy server on $(docv) instead of the \
+           console: clients HELLO/AUTH over a length-prefixed TCP protocol \
+           and concurrent SUBMITs are admitted in batches. $(b,0) picks an \
+           ephemeral port. Combine with $(b,--persist) for a durable usage \
+           log with per-batch group commit.")
+
+let serve_batch =
+  Arg.(
+    value
+    & opt int Server.Tcp.default_config.Server.Tcp.max_batch
+    & info [ "serve-batch" ] ~docv:"N"
+        ~doc:
+          "Maximum admission batch size: up to $(docv) queued concurrent \
+           submissions are decided by one policy evaluation and committed \
+           with one fsync when the fast path applies.")
+
 let repl_cmd =
   Cmd.v
-    (Cmd.info "repl" ~doc:"Interactive SQL console with policy enforcement")
+    (Cmd.info "repl"
+       ~doc:"Interactive SQL console with policy enforcement (or --serve)")
     Term.(
       ret
         (const run_repl $ noopt $ no_policies $ domains $ delta $ persist_dir
-       $ persist_fsync))
+       $ persist_fsync $ serve $ serve_batch))
 
 let check_cmd =
   let policies =

@@ -1,0 +1,157 @@
+(** Scripted client for the policy server.
+
+    - [datalawyer-client -p PORT -u UID "SELECT ..."] — submit queries
+      (repeatable positional arguments, or one per stdin line with no
+      positional SQL); prints each verdict; exit code 1 if any
+      submission was rejected or failed.
+    - [datalawyer-client -p PORT --stats] — dump the server counters.
+    - [datalawyer-client -p PORT --ping] — liveness probe. *)
+
+module Protocol = Server.Protocol
+
+exception Client_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Client_error m)) fmt
+
+type conn = {
+  fd : Unix.file_descr;
+  decoder : Protocol.Decoder.t;
+  buf : Bytes.t;
+}
+
+let connect host port =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found | Invalid_argument _ -> fail "unknown host %S" host)
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     fail "cannot connect to %s:%d: %s" host port (Unix.error_message e));
+  { fd; decoder = Protocol.Decoder.create (); buf = Bytes.create 65536 }
+
+let write_all c s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then begin
+      let n =
+        try Unix.write c.fd b off (len - off)
+        with Unix.Unix_error (e, _, _) ->
+          fail "connection lost: %s" (Unix.error_message e)
+      in
+      if n = 0 then fail "connection lost";
+      go (off + n)
+    end
+  in
+  go 0
+
+let recv c =
+  let rec next () =
+    match Protocol.Decoder.next c.decoder with
+    | `Frame payload -> (
+      match Protocol.parse_response payload with
+      | Ok r -> r
+      | Error (_, m) -> fail "bad reply: %s" m)
+    | `Error code -> fail "framing error from server (%s)" code
+    | `Awaiting ->
+      let n =
+        try Unix.read c.fd c.buf 0 (Bytes.length c.buf)
+        with Unix.Unix_error (e, _, _) ->
+          fail "connection lost: %s" (Unix.error_message e)
+      in
+      if n = 0 then fail "server closed the connection";
+      Protocol.Decoder.feed c.decoder (Bytes.sub_string c.buf 0 n);
+      next ()
+  in
+  next ()
+
+let rpc c req =
+  write_all c (Protocol.encode_frame (Protocol.render_request req));
+  recv c
+
+let run host port uid ping stats queries =
+  try
+    let c = connect host port in
+    (match rpc c (Protocol.Hello Protocol.version) with
+    | Protocol.Hello_ok _ -> ()
+    | r -> fail "unexpected HELLO reply: %s" (Protocol.render_response r));
+    if ping then begin
+      match rpc c Protocol.Ping with
+      | Protocol.Pong -> print_endline "PONG"
+      | r -> fail "unexpected PING reply: %s" (Protocol.render_response r)
+    end;
+    if stats then begin
+      match rpc c Protocol.Stats with
+      | Protocol.Stats_reply kvs ->
+        List.iter (fun (k, v) -> Printf.printf "%-20s %s\n" k v) kvs
+      | r -> fail "unexpected STATS reply: %s" (Protocol.render_response r)
+    end;
+    let queries =
+      if queries = [] && not (ping || stats) then
+        (* No SQL on the command line: one query per stdin line. *)
+        In_channel.fold_lines
+          (fun acc l -> if String.trim l = "" then acc else String.trim l :: acc)
+          [] stdin
+        |> List.rev
+      else queries
+    in
+    let bad = ref 0 in
+    if queries <> [] then begin
+      (match rpc c (Protocol.Auth uid) with
+      | Protocol.Auth_ok _ -> ()
+      | r -> fail "unexpected AUTH reply: %s" (Protocol.render_response r));
+      List.iter
+        (fun sql ->
+          match rpc c (Protocol.Submit sql) with
+          | Protocol.Accepted { seq; rows } ->
+            Printf.printf "ACCEPT #%d (%d rows)\n" seq rows
+          | Protocol.Rejected { seq; messages } ->
+            incr bad;
+            Printf.printf "REJECT #%d\n" seq;
+            List.iter (fun m -> Printf.printf "  %s\n" m) messages
+          | Protocol.Err { code; message } ->
+            incr bad;
+            Printf.printf "ERROR %s: %s\n" code message
+          | r -> fail "unexpected SUBMIT reply: %s" (Protocol.render_response r))
+        queries
+    end;
+    (match rpc c Protocol.Quit with Protocol.Bye | _ -> ());
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    if !bad > 0 then exit 1;
+    `Ok ()
+  with Client_error m ->
+    Printf.eprintf "datalawyer-client: %s\n" m;
+    exit 2
+
+open Cmdliner
+
+let host =
+  Arg.(value & opt string "127.0.0.1" & info [ "h"; "host" ] ~docv:"HOST" ~doc:"Server host.")
+
+let port =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+
+let uid =
+  Arg.(value & opt int 1 & info [ "u"; "uid" ] ~docv:"UID" ~doc:"Tenant uid to AUTH as.")
+
+let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Liveness probe.")
+let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print the server counters.")
+
+let queries =
+  Arg.(value & pos_all string [] & info [] ~docv:"SQL" ~doc:"Queries to submit (else stdin).")
+
+let () =
+  let info =
+    Cmd.info "datalawyer-client" ~version:"1.0.0"
+      ~doc:"Submit queries to a running datalawyer policy server"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v info Term.(ret (const run $ host $ port $ uid $ ping $ stats $ queries))))

@@ -116,6 +116,12 @@ type t = {
           from the process-wide registry when [config.domains > 1] *)
   mutable par_batches : int;  (** parallel batches dispatched *)
   mutable par_tasks : int;  (** tasks executed across those batches *)
+  mutable adm_fast : int;  (** admission batches decided on the fast path *)
+  mutable adm_retried : int;
+      (** fast-path batches that saw a violation and replayed serially *)
+  mutable adm_ineligible : int;
+      (** admission batches that went straight to the serial path *)
+  mutable adm_submissions : int;  (** submissions across all admission batches *)
   delta_store : Incremental.Delta_store.t;
       (** per-policy emptiness bases for incremental evaluation; written
           only between submissions, read (with atomic counters) by pool
@@ -235,6 +241,10 @@ let create ?(config = default_config) ?(generators = Usage_log.standard)
       pool = None;
       par_batches = 0;
       par_tasks = 0;
+      adm_fast = 0;
+      adm_retried = 0;
+      adm_ineligible = 0;
+      adm_submissions = 0;
       delta_store = Incremental.Delta_store.create ();
     }
   in
@@ -413,7 +423,10 @@ let pool_of t : Parallel.Pool.t option =
   else
     Some
       (match t.pool with
-      | Some p when Parallel.Pool.workers p = t.config.domains - 1 -> p
+      | Some p
+        when Parallel.Pool.workers p = t.config.domains - 1
+             && not (Parallel.Pool.is_stopped p) ->
+        p
       | Some _ | None ->
         let p = Parallel.Pool.shared ~workers:(t.config.domains - 1) in
         t.pool <- Some p;
@@ -479,41 +492,50 @@ let par_map t (sub : submission) (pool : Parallel.Pool.t)
           r)
         results)
 
-(* Run the log-generating function for [rel] (once) and tentatively append
-   the increment under a savepoint. *)
+(* Run the log-generating function for [rel] under [ctx] and tentatively
+   append the increment. The savepoint is opened at the relation's first
+   touch, so a batched submission record accumulates every member's rows
+   under one savepoint per relation; [increment_floor] tracks the lowest
+   tentative tid across members. *)
+let gen_rel_for t (sub : submission) (ctx : Usage_log.query_ctx) rel =
+  let g = generator_for t rel in
+  let table = Database.table t.db g.Usage_log.relation in
+  Stats.timed
+    (fun d -> sub.stats.Stats.log_track <- sub.stats.Stats.log_track +. d)
+    (fun () ->
+      let rows = g.Usage_log.generate ctx in
+      (* The log is a set: dedupe the increment. *)
+      let seen = Hashtbl.create 16 in
+      let rows =
+        List.filter
+          (fun r ->
+            let k = Value.canonical_key_of_array r in
+            if Hashtbl.mem seen k then false
+            else begin
+              Hashtbl.add seen k ();
+              true
+            end)
+          rows
+      in
+      if not (Hashtbl.mem sub.generated rel) then
+        Hashtbl.add sub.generated rel (Table.savepoint table);
+      let ts = Value.Int ctx.Usage_log.time in
+      let first = ref None in
+      List.iter
+        (fun cells ->
+          let tid = Table.insert table (Array.append [| ts |] cells) in
+          if !first = None then first := Some tid)
+        rows;
+      let floor = Option.value !first ~default:max_int in
+      match Hashtbl.find_opt sub.increment_floor rel with
+      | None -> Hashtbl.add sub.increment_floor rel floor
+      | Some f when floor < f -> Hashtbl.replace sub.increment_floor rel floor
+      | Some _ -> ())
+
+(* Run the log-generating function for [rel] (once per submission) under
+   the submission's own context. *)
 let gen_rel t (sub : submission) rel =
-  if not (Hashtbl.mem sub.generated rel) then begin
-    let g = generator_for t rel in
-    let table = Database.table t.db g.Usage_log.relation in
-    Stats.timed
-      (fun d -> sub.stats.Stats.log_track <- sub.stats.Stats.log_track +. d)
-      (fun () ->
-        let rows = g.Usage_log.generate sub.ctx in
-        (* The log is a set: dedupe the increment. *)
-        let seen = Hashtbl.create 16 in
-        let rows =
-          List.filter
-            (fun r ->
-              let k = Value.canonical_key_of_array r in
-              if Hashtbl.mem seen k then false
-              else begin
-                Hashtbl.add seen k ();
-                true
-              end)
-            rows
-        in
-        let sp = Table.savepoint table in
-        Hashtbl.add sub.generated rel sp;
-        let ts = Value.Int sub.ctx.Usage_log.time in
-        let first = ref None in
-        List.iter
-          (fun cells ->
-            let tid = Table.insert table (Array.append [| ts |] cells) in
-            if !first = None then first := Some tid)
-          rows;
-        Hashtbl.add sub.increment_floor rel
-          (Option.value !first ~default:max_int))
-  end
+  if not (Hashtbl.mem sub.generated rel) then gen_rel_for t sub sub.ctx rel
 
 (* Evaluate a policy query; returns the violation message if non-empty.
    [stats] is the record to charge — the submission's on the serial
@@ -1200,6 +1222,186 @@ let submit_ast t ~(uid : int) ?(extra = []) (query : Ast.query) : outcome =
 
 let submit t ~uid ?extra sql = submit_ast t ~uid ?extra (Parser.query sql)
 
+(* Batched admission ------------------------------------------------------- *)
+
+type batch_submission = {
+  batch_uid : int;
+  batch_extra : (string * Value.t) list;
+  batch_query : Ast.query;
+}
+
+type batch_stats = {
+  fast_batches : int;
+  retried_batches : int;
+  serial_batches : int;
+  batched_submissions : int;
+}
+
+let batch_stats t =
+  {
+    fast_batches = t.adm_fast;
+    retried_batches = t.adm_retried;
+    serial_batches = t.adm_ineligible;
+    batched_submissions = t.adm_submissions;
+  }
+
+(* The one-at-a-time equivalent of a batch: member exceptions are caught
+   per member (the engine rolls its tentative state back before the
+   exception escapes [submit_ast]), so one poisoned submission never
+   swallows its batch-mates' verdicts. *)
+let submit_serially t subs =
+  List.map
+    (fun s ->
+      match submit_ast t ~uid:s.batch_uid ~extra:s.batch_extra s.batch_query with
+      | o -> Ok o
+      | exception e -> Error e)
+    subs
+
+(* Batch fast-path eligibility. The combined-state argument below rests
+   on every active policy being a monotone SPJ query that never reads
+   the clock — exactly {!Optimizer.derive_delta}'s eligibility (checked
+   through the prepared cache, so the analysis amortizes across
+   batches) — and on no member query reading a log relation or the
+   clock (a member's own result must not depend on whether its
+   batch-mates' increments are still tentative). *)
+let batch_eligible t (pl : plan) subs =
+  let is_log = is_log t in
+  let is_clock rel = lc rel = Usage_log.clock_relation in
+  let refs pred q =
+    Analysis.log_relations ~is_log:pred q <> []
+    || Analysis.subquery_uses_log ~is_log:pred q
+  in
+  List.for_all
+    (fun (p : Policy.t) ->
+      Option.is_some
+        (Prepared.prepare_delta t.prepared ~is_log
+           ~clock_rel:Usage_log.clock_relation p.Policy.query))
+    pl.active
+  && List.for_all
+       (fun s -> not (refs is_log s.batch_query || refs is_clock s.batch_query))
+       subs
+
+(* Admit a batch of concurrent submissions.
+
+   Fast path (all policies monotone SPJ per {!batch_eligible}): every
+   member's log increments are appended tentatively — each member at its
+   own clock tick, in arrival order — and the policy set is evaluated
+   {e once} over the combined tentative state, fanning out over the
+   domain pool against frozen tables exactly as a single submission's
+   evaluation does. If every policy comes back empty, monotonicity gives
+   the serial-equivalence argument: each arrival-order prefix of the
+   batch is a subset of the combined state, so every policy is empty
+   over it too, which is precisely what accepting the members one at a
+   time would have checked. One commit then retains the combined
+   increment (same mark phase, same WAL record count: one), so the log
+   equals the serial replay's. If any policy fires, the verdict cannot
+   be attributed to a member from the combined evaluation alone, so the
+   tentative state is rolled back, the clock rewound, and the batch
+   replayed serially — decisions are therefore {e always} identical to
+   the arrival-order serial execution.
+
+   Caveat inherited from the eligibility gate, documented in
+   docs/SERVER.md: custom log-generating functions that read log
+   relations (none of the standard ones do) could observe batch-mates'
+   tentative rows during generation. *)
+let submit_batch t (subs : batch_submission list) :
+    (outcome, exn) result list =
+  let n = List.length subs in
+  t.adm_submissions <- t.adm_submissions + n;
+  match subs with
+  | [] -> []
+  | [ _ ] ->
+    t.adm_ineligible <- t.adm_ineligible + 1;
+    submit_serially t subs
+  | _ ->
+    let pl = plan t in
+    if not (batch_eligible t pl subs) then begin
+      t.adm_ineligible <- t.adm_ineligible + 1;
+      submit_serially t subs
+    end
+    else begin
+      let now0 = Usage_log.current_time t.db in
+      let now = now0 + n in
+      let last = List.nth subs (n - 1) in
+      let sub =
+        {
+          ctx =
+            {
+              Usage_log.uid = last.batch_uid;
+              time = now;
+              query = last.batch_query;
+              db = t.db;
+              extra = last.batch_extra;
+            };
+          stats = Stats.create ();
+          generated = Hashtbl.create 4;
+          increment_floor = Hashtbl.create 4;
+        }
+      in
+      let rollback_all () =
+        Hashtbl.iter
+          (fun rel sp -> Table.rollback_to (Database.table t.db rel) sp)
+          sub.generated;
+        Hashtbl.reset sub.generated;
+        Hashtbl.reset sub.increment_floor;
+        Usage_log.set_clock t.db now0
+      in
+      (* Generate every relation a policy may read or the commit may
+         store, for every member: preemptive skipping is pointless here
+         (the mark phase sees the whole combined increment anyway). *)
+      let rels =
+        List.sort_uniq String.compare (pl.required @ pl.store_rels)
+      in
+      let pool = pool_of t in
+      match
+        Usage_log.set_clock t.db now;
+        List.iteri
+          (fun i s ->
+            let ctx =
+              {
+                Usage_log.uid = s.batch_uid;
+                time = now0 + i + 1;
+                query = s.batch_query;
+                db = t.db;
+                extra = s.batch_extra;
+              }
+            in
+            List.iter (gen_rel_for t sub ctx) rels)
+          subs;
+        eval_full t sub pool pl.active
+      with
+      | [] ->
+        t.adm_fast <- t.adm_fast + 1;
+        t.last_violations <- [];
+        (* A commit failure must resolve the savepoints before escaping,
+           exactly as [submit_ast]'s handler does, or they would poison
+           later submissions. *)
+        (try commit_logs t sub pool pl ~now
+         with e ->
+           rollback_all ();
+           raise e);
+        if t.config.delta then establish_bases t pl;
+        List.map
+          (fun s ->
+            let stats = Stats.create () in
+            match
+              Stats.timed
+                (fun d -> stats.Stats.query_exec <- stats.Stats.query_exec +. d)
+                (fun () -> Prepared.run t.prepared s.batch_query)
+            with
+            | r -> Ok (Accepted (r, stats))
+            | exception e -> Error e)
+          subs
+      | _violations ->
+        t.adm_retried <- t.adm_retried + 1;
+        rollback_all ();
+        submit_serially t subs
+      | exception e ->
+        rollback_all ();
+        ignore (Printexc.to_string e);
+        submit_serially t subs
+    end
+
 (* Violated policies of the most recent rejected submission. *)
 let last_violations t = t.last_violations
 
@@ -1213,8 +1415,15 @@ let persist_checkpoint t =
   | Some store -> checkpoint_to t store ~scope:(plan t).store_rels
 
 let close t =
-  match t.persist with
+  (match t.persist with
   | None -> ()
   | Some store ->
     Persistence.Store.close store;
-    t.persist <- None
+    t.persist <- None);
+  (* Join the shared evaluation domains so a long-running process (the
+     policy server, the REPL) exits cleanly instead of leaking domains.
+     Pools are process-wide: other engines (and this one, which stays
+     usable) transparently refetch a fresh pool from the registry on
+     their next parallel batch. *)
+  t.pool <- None;
+  Parallel.Pool.shutdown_shared ()

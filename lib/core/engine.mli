@@ -162,6 +162,46 @@ val submit :
 val submit_ast :
   t -> uid:int -> ?extra:(string * Value.t) list -> Ast.query -> outcome
 
+(** One member of an admission batch. *)
+type batch_submission = {
+  batch_uid : int;
+  batch_extra : (string * Value.t) list;
+  batch_query : Ast.query;
+}
+
+(** Admit a batch of concurrent submissions, returning one result per
+    member in order. Decisions, log contents and clock are always
+    identical to submitting the members one at a time in list order:
+    when every active policy is a monotone SPJ query that never reads
+    the clock (exactly {!Relational.Optimizer.derive_delta}'s
+    eligibility) and no member query reads a log relation or the clock,
+    the batch is decided on a fast path — every member's log increments
+    are appended tentatively (each at its own clock tick) and the policy
+    set is evaluated {e once} over the combined state, so evaluation,
+    witness compaction, WAL record and fsync all amortize across the
+    batch; any policy firing, or any ineligibility, falls back to the
+    serial path. A member whose evaluation or execution raised yields
+    [Error] (the engine state is rolled back for that member exactly as
+    {!submit} would); its batch-mates' verdicts are unaffected.
+
+    Shared policy-machinery time of a fast-path batch is not split
+    across members: each member's stats carry only its own query
+    execution. *)
+val submit_batch : t -> batch_submission list -> (outcome, exn) result list
+
+(** Admission-batch counters: batches decided on the fast path, fast
+    batches replayed serially after a violation, batches that went
+    straight to the serial path (ineligible or singleton), and total
+    submissions across them. *)
+type batch_stats = {
+  fast_batches : int;
+  retried_batches : int;
+  serial_batches : int;
+  batched_submissions : int;
+}
+
+val batch_stats : t -> batch_stats
+
 (** Violated policies of the most recent rejected submission (for
     {!Advisor} diagnosis); empty after an accepted one. *)
 val last_violations : t -> Policy.t list
@@ -174,6 +214,9 @@ val persist_store : t -> Persistence.Store.t option
     persistence. *)
 val persist_checkpoint : t -> unit
 
-(** Flush and close the persistence store, if any; the engine remains
-    usable in memory afterwards. *)
+(** Flush and close the persistence store, if any, and shut down the
+    process-wide shared evaluation pools ({!Parallel.Pool.shutdown_shared})
+    so no worker domain outlives the engine. The engine remains usable
+    in memory afterwards — its next parallel batch simply fetches a
+    fresh pool. *)
 val close : t -> unit

@@ -149,6 +149,12 @@ let shutdown pool =
     pool.domains <- [||]
   end
 
+let is_stopped pool =
+  Mutex.lock pool.lock;
+  let stopped = pool.stop in
+  Mutex.unlock pool.lock;
+  stopped
+
 (* Shared registry ------------------------------------------------------- *)
 
 let registry_lock = Mutex.create ()
@@ -161,8 +167,18 @@ let shared ~workers =
     ~finally:(fun () -> Mutex.unlock registry_lock)
     (fun () ->
       match Hashtbl.find_opt registry workers with
-      | Some pool -> pool
-      | None ->
+      | Some pool when not (is_stopped pool) -> pool
+      | Some _ | None ->
         let pool = create ~workers in
-        Hashtbl.add registry workers pool;
+        Hashtbl.replace registry workers pool;
         pool)
+
+let shutdown_shared () =
+  (* Collect under the lock, join outside it: [shutdown] blocks on
+     worker domains, and a worker finishing its last job must not need
+     the registry lock to make progress. *)
+  Mutex.lock registry_lock;
+  let pools = Hashtbl.fold (fun _ pool acc -> pool :: acc) registry [] in
+  Hashtbl.reset registry;
+  Mutex.unlock registry_lock;
+  List.iter shutdown pools

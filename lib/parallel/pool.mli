@@ -50,9 +50,21 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     call twice; {!submit} afterwards raises. *)
 val shutdown : t -> unit
 
+(** [true] once {!shutdown} has run: the pool accepts no more work.
+    Holders of a cached {!shared} pool check this to refetch a live
+    one. *)
+val is_stopped : t -> bool
+
 (** Process-wide pool registry: one pool per distinct [workers] count,
-    created on first use and kept for the process lifetime. Engines
-    share pools through this, so creating many engines (tests, REPLs)
-    never multiplies domains — the spawned-domain count stays bounded
-    by the distinct pool sizes in use. *)
+    created on first use and shared between engines, so creating many
+    engines (tests, REPLs) never multiplies domains — the spawned-domain
+    count stays bounded by the distinct pool sizes in use. A registered
+    pool that was shut down (see {!shutdown_shared}) is transparently
+    replaced on the next call. *)
 val shared : workers:int -> t
+
+(** Shut down and drop every pool in the {!shared} registry, joining
+    their worker domains. Long-running processes (the policy server, the
+    REPL) call this on exit so no domain outlives its engine; a later
+    {!shared} call simply spawns a fresh pool. *)
+val shutdown_shared : unit -> unit

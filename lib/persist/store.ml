@@ -6,6 +6,7 @@ type t = {
   mutable generation : int;
   mutable wal : Wal.t;
   mutable wal_base : int;  (** records already in the WAL file at open *)
+  mutable fsync_base : int;  (** fsyncs of WAL handles already rotated out *)
   mutable closed : bool;
 }
 
@@ -29,12 +30,14 @@ let open_dir ?(fsync = Interval 32) dir =
   let wal =
     Wal.open_append ~path:(Filename.concat dir (Recovery.wal_file generation)) ~fsync
   in
-  ({ dir; fsync; generation; wal; wal_base; closed = false }, recovered)
+  ({ dir; fsync; generation; wal; wal_base; fsync_base = 0; closed = false }, recovered)
 
 let dir t = t.dir
 let fsync_policy t = t.fsync
 let generation t = t.generation
 let wal_records t = t.wal_base + Wal.records_appended t.wal
+
+let fsyncs t = t.fsync_base + Wal.fsyncs t.wal
 
 let check_open t = if t.closed then invalid_arg "Persistence.Store: store is closed"
 
@@ -48,9 +51,9 @@ let log_commit t ~clock ~increments =
 let log_add_policy t p = log_record t (Record.Add_policy p)
 let log_remove_policy t name = log_record t (Record.Remove_policy name)
 
-let flush t =
+let flush ?(sync = false) t =
   check_open t;
-  Wal.flush t.wal
+  Wal.flush ~sync t.wal
 
 let checkpoint t state =
   check_open t;
@@ -59,6 +62,7 @@ let checkpoint t state =
   Snapshot.write (Filename.concat t.dir (Recovery.snapshot_file g')) state;
   (* Buffered (and even already-written) WAL records are subsumed by the
      snapshot: close the old WAL without caring about its tail. *)
+  t.fsync_base <- t.fsync_base + Wal.fsyncs t.wal + 1 (* close fsyncs once *);
   Wal.close t.wal;
   t.generation <- g';
   t.wal_base <- 0;

@@ -27,6 +27,11 @@ val generation : t -> int
 (** Records in the current WAL (replayed at open + appended since). *)
 val wal_records : t -> int
 
+(** fsync calls issued over the store's lifetime (across WAL
+    rotations) — the group-commit currency: one fsync may make many
+    commit records durable at once. *)
+val fsyncs : t -> int
+
 (** Journal one accepted submission: its clock and every log relation's
     retained increment, as one atomic record. *)
 val log_commit : t -> clock:int -> increments:(string * Relational.Value.t array list) list -> unit
@@ -38,9 +43,11 @@ val log_remove_policy : t -> string -> unit
     are subsumed by the snapshot and discarded. *)
 val checkpoint : t -> Snapshot.state -> unit
 
-(** Drain the group-commit buffer to disk (fsyncs unless policy is
-    {!Never}). *)
-val flush : t -> unit
+(** Drain the group-commit buffer to disk. Fsyncs unless the policy is
+    {!Never}; [~sync:true] forces the fsync even then — the policy
+    server's group commit runs with {!Never} buffering and one forced
+    sync per admission batch. *)
+val flush : ?sync:bool -> t -> unit
 
 (** Bytes currently on disk (snapshot + WAL of the live generation). *)
 val disk_bytes : t -> int

@@ -29,6 +29,7 @@ type t = {
   pending : Buffer.t;
   mutable pending_records : int;
   mutable appended : int;
+  mutable fsyncs : int;
 }
 
 let write_all fd s =
@@ -45,7 +46,10 @@ let flush ?(sync = false) t =
     t.pending_records <- 0
   end;
   let want_sync = match t.policy with Never -> sync | Always | Interval _ -> true in
-  if want_sync then Unix.fsync t.fd
+  if want_sync then begin
+    Unix.fsync t.fd;
+    t.fsyncs <- t.fsyncs + 1
+  end
 
 let open_append ~path ~fsync =
   let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
@@ -55,11 +59,14 @@ let open_append ~path ~fsync =
     Unix.ftruncate fd 0;
     write_all fd (header ())
   end;
-  { path; fd; policy = fsync; pending = Buffer.create 4096; pending_records = 0; appended = 0 }
+  { path; fd; policy = fsync; pending = Buffer.create 4096; pending_records = 0;
+    appended = 0; fsyncs = 0 }
 
 let path t = t.path
 
 let records_appended t = t.appended
+
+let fsyncs t = t.fsyncs
 
 let append t payload =
   Codec.w_u32 t.pending (String.length payload);

@@ -30,6 +30,10 @@ val path : t -> string
 (** Records appended through this handle since it was opened. *)
 val records_appended : t -> int
 
+(** fsync calls issued through this handle — the group-commit currency:
+    one fsync may cover many appended records. *)
+val fsyncs : t -> int
+
 (** Frame one payload and append it, honoring the fsync policy. *)
 val append : t -> string -> unit
 

@@ -270,14 +270,6 @@ let rollback_to t (sp : savepoint) =
 
 let release t (_sp : savepoint) = t.in_txn <- false
 
-(* Rows inserted after the savepoint, i.e. the tentative increment. *)
-let rows_since t (sp : savepoint) =
-  let out = ref [] in
-  for i = Vec.length t.rows - 1 downto sp do
-    out := Vec.get t.rows i :: !out
-  done;
-  !out
-
 let iter_since f t (sp : savepoint) =
   for i = sp to Vec.length t.rows - 1 do
     f (Vec.get t.rows i)

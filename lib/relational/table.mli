@@ -128,11 +128,6 @@ val rollback_to : t -> savepoint -> unit
 (** Keep the rows appended since the savepoint and close it. *)
 val release : t -> savepoint -> unit
 
-(** Rows appended since the savepoint (the tentative increment), in
-    insertion order. *)
-val rows_since : t -> savepoint -> Row.t list
-  [@@ocaml.deprecated "builds an intermediate list; use fold_since or iter_since"]
-
 (** Iterate the rows appended since the savepoint without building a
     list. *)
 val iter_since : (Row.t -> unit) -> t -> savepoint -> unit

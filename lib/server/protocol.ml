@@ -1,0 +1,208 @@
+(** Wire protocol of the policy-admission server.
+
+    A frame is a decimal payload length in ASCII, a single [\n], then
+    exactly that many payload bytes. Payloads are line-oriented text:
+    the first line carries the verb, further lines carry the SQL of a
+    SUBMIT or the items of a multi-line reply. Both directions use the
+    same framing, and every parser/printer here is a pure function on
+    strings, so the protocol is testable without sockets or a client
+    library. *)
+
+let version = "datalawyer/1"
+
+(* Default ceiling on one frame's payload: big enough for any sane SQL
+   text, small enough that a malicious length prefix cannot balloon
+   memory. *)
+let default_max_payload = 1 lsl 20
+
+(* Error codes, used in ERR replies and as parse-failure tags. *)
+let err_bad_frame = "bad-frame"
+let err_too_large = "too-large"
+let err_bad_verb = "bad-verb"
+let err_bad_arg = "bad-arg"
+let err_auth_required = "auth-required"
+let err_auth_rebind = "auth-rebind"
+let err_state = "state"
+let err_sql = "sql"
+let err_internal = "internal"
+let err_shutdown = "shutdown"
+
+type request =
+  | Hello of string  (** protocol version token *)
+  | Auth of int  (** bind the session to a uid *)
+  | Submit of string  (** candidate query SQL *)
+  | Stats
+  | Ping
+  | Quit
+
+type response =
+  | Hello_ok of string
+  | Auth_ok of int
+  | Accepted of { seq : int; rows : int }
+      (** admitted: admission sequence number and result-row count *)
+  | Rejected of { seq : int; messages : string list }
+  | Stats_reply of (string * string) list
+  | Pong
+  | Bye
+  | Err of { code : string; message : string }
+
+(* Requests ---------------------------------------------------------------- *)
+
+(* First line (up to [\n] or the end) and the remainder past the [\n]. *)
+let split_first_line s =
+  match String.index_opt s '\n' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let parse_uid s =
+  match int_of_string_opt (String.trim s) with
+  | Some uid when uid >= 0 -> Ok uid
+  | Some _ | None -> Error (err_bad_arg, Printf.sprintf "bad uid %S" (String.trim s))
+
+let parse_request (payload : string) : (request, string * string) result =
+  let line, rest = split_first_line payload in
+  let verb, arg =
+    match String.index_opt line ' ' with
+    | None -> (line, "")
+    | Some i -> (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+  in
+  match verb with
+  | "HELLO" ->
+    if rest <> "" then Error (err_bad_verb, "HELLO takes a single line")
+    else Ok (Hello (String.trim arg))
+  | "AUTH" ->
+    if rest <> "" then Error (err_bad_verb, "AUTH takes a single line")
+    else Result.map (fun uid -> Auth uid) (parse_uid arg)
+  | "SUBMIT" ->
+    (* The SQL is everything past the verb line; a one-line
+       [SUBMIT <sql>] is accepted too. *)
+    let sql = String.trim (if rest = "" then arg else arg ^ "\n" ^ rest) in
+    if sql = "" then Error (err_bad_arg, "SUBMIT carries no SQL")
+    else Ok (Submit sql)
+  | "STATS" -> Ok Stats
+  | "PING" -> Ok Ping
+  | "QUIT" -> Ok Quit
+  | "" -> Error (err_bad_verb, "empty request")
+  | v -> Error (err_bad_verb, Printf.sprintf "unknown verb %S" v)
+
+let render_request = function
+  | Hello v -> "HELLO " ^ v
+  | Auth uid -> Printf.sprintf "AUTH %d" uid
+  | Submit sql -> "SUBMIT\n" ^ sql
+  | Stats -> "STATS"
+  | Ping -> "PING"
+  | Quit -> "QUIT"
+
+(* Responses --------------------------------------------------------------- *)
+
+(* Violation messages and stats values are single-line by construction;
+   enforce it on the wire so the line-oriented framing stays parseable. *)
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let render_response = function
+  | Hello_ok v -> "OK " ^ v
+  | Auth_ok uid -> Printf.sprintf "OK uid %d" uid
+  | Accepted { seq; rows } -> Printf.sprintf "ACCEPT %d %d" seq rows
+  | Rejected { seq; messages } ->
+    Printf.sprintf "REJECT %d %d%s" seq (List.length messages)
+      (String.concat "" (List.map (fun m -> "\n" ^ one_line m) messages))
+  | Stats_reply kvs ->
+    Printf.sprintf "STATS %d%s" (List.length kvs)
+      (String.concat ""
+         (List.map (fun (k, v) -> Printf.sprintf "\n%s %s" k (one_line v)) kvs))
+  | Pong -> "PONG"
+  | Bye -> "BYE"
+  | Err { code; message } -> Printf.sprintf "ERR %s %s" code (one_line message)
+
+let parse_response (payload : string) : (response, string * string) result =
+  let line, rest = split_first_line payload in
+  let words = String.split_on_char ' ' line in
+  let lines s = if s = "" then [] else String.split_on_char '\n' s in
+  match words with
+  | [ "OK"; "uid"; n ] -> Result.map (fun uid -> Auth_ok uid) (parse_uid n)
+  | [ "OK"; v ] -> Ok (Hello_ok v)
+  | [ "ACCEPT"; seq; rows ] -> (
+    match (int_of_string_opt seq, int_of_string_opt rows) with
+    | Some seq, Some rows -> Ok (Accepted { seq; rows })
+    | _ -> Error (err_bad_arg, "malformed ACCEPT"))
+  | [ "REJECT"; seq; n ] -> (
+    match (int_of_string_opt seq, int_of_string_opt n) with
+    | Some seq, Some n when List.length (lines rest) = n ->
+      Ok (Rejected { seq; messages = lines rest })
+    | _ -> Error (err_bad_arg, "malformed REJECT"))
+  | [ "STATS"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when List.length (lines rest) = n ->
+      let kv l =
+        match String.index_opt l ' ' with
+        | None -> (l, "")
+        | Some i -> (String.sub l 0 i, String.sub l (i + 1) (String.length l - i - 1))
+      in
+      Ok (Stats_reply (List.map kv (lines rest)))
+    | _ -> Error (err_bad_arg, "malformed STATS reply"))
+  | [ "PONG" ] -> Ok Pong
+  | [ "BYE" ] -> Ok Bye
+  | "ERR" :: code :: msg -> Ok (Err { code; message = String.concat " " msg })
+  | _ -> Error (err_bad_verb, Printf.sprintf "unknown reply %S" line)
+
+(* Framing ----------------------------------------------------------------- *)
+
+let encode_frame payload = Printf.sprintf "%d\n%s" (String.length payload) payload
+
+(* Longest accepted length prefix: 7 digits covers the maximum payload
+   and bounds how much a garbage stream can make us buffer before the
+   frame is declared malformed. *)
+let max_len_digits = 7
+
+module Decoder = struct
+  type t = {
+    mutable pending : string;  (** bytes received, not yet consumed *)
+    mutable broken : string option;  (** sticky error code *)
+    max_payload : int;
+  }
+
+  let create ?(max_payload = default_max_payload) () =
+    { pending = ""; broken = None; max_payload }
+
+  let feed t chunk =
+    if t.broken = None && chunk <> "" then t.pending <- t.pending ^ chunk
+
+  let is_digit c = c >= '0' && c <= '9'
+
+  let next t =
+    match t.broken with
+    | Some code -> `Error code
+    | None -> (
+      let s = t.pending in
+      let n = String.length s in
+      match String.index_opt s '\n' with
+      | None ->
+        if n > max_len_digits then begin
+          t.broken <- Some err_bad_frame;
+          `Error err_bad_frame
+        end
+        else `Awaiting
+      | Some nl ->
+        let digits = String.sub s 0 nl in
+        if
+          digits = ""
+          || String.length digits > max_len_digits
+          || not (String.for_all is_digit digits)
+        then begin
+          t.broken <- Some err_bad_frame;
+          `Error err_bad_frame
+        end
+        else
+          let len = int_of_string digits in
+          if len > t.max_payload then begin
+            t.broken <- Some err_too_large;
+            `Error err_too_large
+          end
+          else if n - nl - 1 < len then `Awaiting
+          else begin
+            let payload = String.sub s (nl + 1) len in
+            t.pending <- String.sub s (nl + 1 + len) (n - nl - 1 - len);
+            `Frame payload
+          end)
+end

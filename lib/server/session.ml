@@ -1,0 +1,63 @@
+(** Per-connection session state machine.
+
+    A session must HELLO with the protocol version, then AUTH to bind
+    itself to a uid, before it may SUBMIT: the uid of every admission is
+    taken from the binding, never from the request, so a tenant cannot
+    submit on behalf of another uid. Re-AUTH to the same uid is
+    idempotent; to a different uid it is refused (the binding and the
+    connection survive). The machine is pure — [step] maps a request to
+    the action the transport should take — so every transition is
+    testable without sockets. *)
+
+type state =
+  | Start  (** nothing received yet: only HELLO (or QUIT) *)
+  | Greeted  (** version agreed; STATS/PING allowed, SUBMIT needs AUTH *)
+  | Bound of int  (** authenticated as this uid *)
+
+type t = { mutable state : state; mutable submits : int }
+
+type action =
+  | Reply of Protocol.response
+  | Admit of { uid : int; sql : string }
+      (** run the admission pipeline, then reply with its verdict *)
+  | Report  (** reply with the server's stats *)
+  | Terminate of Protocol.response  (** reply, then close the connection *)
+
+let create () = { state = Start; submits = 0 }
+
+let uid t = match t.state with Bound uid -> Some uid | Start | Greeted -> None
+let submits t = t.submits
+
+let err code message = Protocol.Err { code; message }
+
+let step t (req : Protocol.request) : action =
+  match (t.state, req) with
+  | _, Protocol.Quit -> Terminate Protocol.Bye
+  | Start, Protocol.Hello v ->
+    if v = Protocol.version then begin
+      t.state <- Greeted;
+      Reply (Protocol.Hello_ok Protocol.version)
+    end
+    else
+      Terminate
+        (err Protocol.err_bad_arg
+           (Printf.sprintf "unsupported version %S (want %s)" v Protocol.version))
+  | Start, _ -> Terminate (err Protocol.err_state "HELLO first")
+  | (Greeted | Bound _), Protocol.Hello _ ->
+    Reply (err Protocol.err_state "already greeted")
+  | (Greeted | Bound _), Protocol.Ping -> Reply Protocol.Pong
+  | (Greeted | Bound _), Protocol.Stats -> Report
+  | Greeted, Protocol.Auth uid ->
+    t.state <- Bound uid;
+    Reply (Protocol.Auth_ok uid)
+  | Bound uid, Protocol.Auth uid' ->
+    if uid = uid' then Reply (Protocol.Auth_ok uid)
+    else
+      Reply
+        (err Protocol.err_auth_rebind
+           (Printf.sprintf "session is bound to uid %d" uid))
+  | Greeted, Protocol.Submit _ ->
+    Reply (err Protocol.err_auth_required "AUTH before SUBMIT")
+  | Bound uid, Protocol.Submit sql ->
+    t.submits <- t.submits + 1;
+    Admit { uid; sql }

@@ -1,0 +1,34 @@
+(** Per-connection session state machine (pure; see {!step}).
+
+    Enforces HELLO-then-AUTH-then-SUBMIT: the uid of every admission
+    comes from the session binding established by AUTH, never from the
+    SUBMIT itself, so one tenant cannot submit as another. *)
+
+type state =
+  | Start  (** nothing received yet: only HELLO (or QUIT) *)
+  | Greeted  (** version agreed; STATS/PING allowed, SUBMIT needs AUTH *)
+  | Bound of int  (** authenticated as this uid *)
+
+type t
+
+(** What the transport should do with a request, as decided by {!step}. *)
+type action =
+  | Reply of Protocol.response
+  | Admit of { uid : int; sql : string }
+      (** run the admission pipeline, then reply with its verdict *)
+  | Report  (** reply with the server's stats *)
+  | Terminate of Protocol.response  (** reply, then close the connection *)
+
+val create : unit -> t
+
+(** The bound uid, once authenticated. *)
+val uid : t -> int option
+
+(** SUBMITs accepted into the pipeline over the session's lifetime. *)
+val submits : t -> int
+
+(** Advance the machine by one request. Transition rules: QUIT always
+    terminates with [Bye]; HELLO with the wrong version terminates with
+    an error; re-AUTH to the same uid is idempotent, to a different uid
+    refused without dropping the binding. *)
+val step : t -> Protocol.request -> action

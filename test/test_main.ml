@@ -24,5 +24,6 @@ let () =
       ("parallel", Test_parallel.suite);
       ("parallel_diff", Test_parallel_diff.suite);
       ("delta_diff", Test_delta_diff.suite);
+      ("server", Test_server.suite);
       ("properties", Test_props.suite);
     ]
