@@ -1,7 +1,7 @@
 (** Benchmark harness regenerating every table and figure of the paper's
     evaluation (§5). Run with no argument for the full suite at quick
     scale, or name experiments: fig1 fig2 fig3 tab4 fig4 fig5 ablate
-    persist micro. Pass --full for paper-scale batch counts. *)
+    persist micro load scale. Pass --full for paper-scale batch counts. *)
 
 let experiments =
   [
@@ -15,6 +15,7 @@ let experiments =
     ("persist", Persist.run);
     ("micro", fun _ -> Micro.run ());
     ("load", Load.run);
+    ("scale", Scale.run);
   ]
 
 let () =

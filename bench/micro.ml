@@ -270,6 +270,8 @@ let delta_case () =
         unification = false;
         domains = 1;
         delta;
+        relevance = false;
+        shared_scans = false;
       }
     in
     let engine = Engine.create ~config db in

@@ -108,7 +108,8 @@ let repl_help =
   :policies             list registered policies
   :drop NAME            remove a policy
   :log                  show usage-log sizes (and on-disk state)
-  :stats                show index, plan-cache and delta-eval statistics
+  :stats                show index, plan-cache, delta-eval, unification,
+                        relevance-index and shared-scan statistics
   :checkpoint           force a persistence checkpoint
   :tables               list tables
   :load TABLE FILE.csv  import a CSV file (creates the table if needed)
@@ -202,6 +203,26 @@ let run_repl noopt no_policies domains delta persist_dir persist_fsync serve
            Printf.printf "  delta store: %d bases\n" d.Engine.delta_bases;
            Printf.printf "  delta evals: %d delta, %d full\n"
              d.Engine.delta_evals d.Engine.full_evals;
+           let u = Engine.unify_stats engine in
+           Printf.printf "  unification: %d registered -> %d active (%d groups, %d members)\n"
+             u.Engine.unify_registered u.Engine.unify_active
+             u.Engine.unify_groups u.Engine.unify_members;
+           let r = Engine.relevance_stats engine in
+           Printf.printf "  relevance index: %d policies (%d eligible), %d checks, %d skips%s\n"
+             r.Engine.rel_indexed r.Engine.rel_eligible r.Engine.rel_checks
+             r.Engine.rel_skips
+             (if r.Engine.rel_checks = 0 then ""
+              else
+                Printf.sprintf " (%.1f%% skipped)"
+                  (100. *. float_of_int r.Engine.rel_skips
+                  /. float_of_int r.Engine.rel_checks));
+           let sh, sm = Engine.shared_scan_stats engine in
+           let stot = sh + sm in
+           Printf.printf "  shared scans: %d hits / %d misses%s\n" sh sm
+             (if stot = 0 then ""
+              else
+                Printf.sprintf " (%.1f%% hit rate)"
+                  (100. *. float_of_int sh /. float_of_int stot));
            let b = Engine.batch_stats engine in
            Printf.printf
              "  admission batches: %d fast, %d retried, %d serial (%d batched \

@@ -28,6 +28,8 @@ type config = {
   strategy : strategy;
   domains : int;
   delta : bool;
+  relevance : bool;
+  shared_scans : bool;
 }
 
 (* Default evaluation parallelism: the DL_DOMAINS environment variable
@@ -50,6 +52,13 @@ let default_delta =
   | Some s -> String.trim s <> "0"
   | None -> true
 
+(* Policy unification defaults on; DL_UNIFY=0 pins the unrolled
+   evaluation path (CI runs the suite both ways). *)
+let default_unify =
+  match Sys.getenv_opt "DL_UNIFY" with
+  | Some s -> String.trim s <> "0"
+  | None -> true
+
 (* The NoOpt baseline (Algorithm 1): generate the logs the policies
    mention, evaluate the union of all policies, never compact. *)
 let noopt_config =
@@ -62,6 +71,8 @@ let noopt_config =
     strategy = Union_all;
     domains = default_domains;
     delta = default_delta;
+    relevance = false;
+    shared_scans = false;
   }
 
 (* DataLawyer with every optimization enabled (§4.4). *)
@@ -69,12 +80,14 @@ let default_config =
   {
     time_independent = true;
     log_compaction = true;
-    unification = true;
+    unification = default_unify;
     preemptive = true;
     improved_partial = true;
     strategy = Interleaved;
     domains = default_domains;
     delta = default_delta;
+    relevance = true;
+    shared_scans = true;
   }
 
 type plan = {
@@ -86,6 +99,9 @@ type plan = {
       (** log relations referenced by a time-dependent policy: only these
           ever need persisting *)
   unified_groups : Unify.group list;
+  relevance : Relevance.t;
+      (** per-active-policy slot/filter metadata for the relevance index,
+          built over the same post-unification policy set *)
 }
 
 type t = {
@@ -122,10 +138,18 @@ type t = {
   mutable adm_ineligible : int;
       (** admission batches that went straight to the serial path *)
   mutable adm_submissions : int;  (** submissions across all admission batches *)
+  rel_checks : int Atomic.t;
+      (** relevance-index consultations (atomic: incremented inside pool
+          tasks) *)
+  rel_skips : int Atomic.t;  (** policies skipped as provably unaffected *)
   delta_store : Incremental.Delta_store.t;
       (** per-policy emptiness bases for incremental evaluation; written
           only between submissions, read (with atomic counters) by pool
           workers during batches *)
+  relevance_store : Incremental.Delta_store.t;
+      (** the relevance index's own emptiness bases, kept apart from the
+          delta bases because the two proofs snapshot different
+          dependency lists and are counted separately *)
 }
 
 type outcome =
@@ -245,7 +269,10 @@ let create ?(config = default_config) ?(generators = Usage_log.standard)
       adm_retried = 0;
       adm_ineligible = 0;
       adm_submissions = 0;
+      rel_checks = Atomic.make 0;
+      rel_skips = Atomic.make 0;
       delta_store = Incremental.Delta_store.create ();
+      relevance_store = Incremental.Delta_store.create ();
     }
   in
   (match persist_dir with
@@ -271,9 +298,10 @@ let invalidate t =
   t.plan <- None;
   Catalog.touch (Database.catalog t.db);
   (* Bases are keyed on the generation we just bumped, so they are all
-     dead; dropping them keeps the store from accreting entries for
+     dead; dropping them keeps the stores from accreting entries for
      renamed or retired policies. *)
-  Incremental.Delta_store.reset t.delta_store
+  Incremental.Delta_store.reset t.delta_store;
+  Incremental.Delta_store.reset t.relevance_store
 
 let set_config t config =
   t.config <- config;
@@ -353,6 +381,9 @@ let compute_plan t : plan =
     required = union_rels ps;
     store_rels = union_rels (List.filter (fun p -> not p.Policy.ti_rewritten) ps);
     unified_groups;
+    relevance =
+      Relevance.build (Database.catalog t.db) ~is_log
+        ~clock_rel:Usage_log.clock_relation ~time_col:Usage_log.time_column ps;
   }
 
 (* Full persisted state at this instant, for checkpointing: the clock,
@@ -547,13 +578,28 @@ let eval_query t ~(stats : Stats.t) ?(track_src = false) (q : Ast.query) :
     (fun () ->
       stats.Stats.policy_calls <- stats.Stats.policy_calls + 1;
       let opts = { Executor.lineage = false; track_src } in
-      let r = Prepared.run t.prepared ~opts q in
+      let r =
+        Prepared.run t.prepared ~opts ~share:t.config.shared_scans q
+      in
       match r.Executor.out_rows with [] -> None | _ -> Some r)
 
-let message_of_result (p : Policy.t) (r : Executor.result) =
-  match r.Executor.out_rows with
-  | { Executor.values = [| Value.Str m |]; _ } :: _ -> m
-  | _ -> p.Policy.message
+(* Every distinct string a violation result projects. A plain policy
+   projects its one literal message; a unified policy projects exactly
+   the messages of its firing members (the lifted message column), so a
+   single evaluation must be allowed to report several. Rows that don't
+   carry a single string (a policy someone wrote to project data) fall
+   back to the registered message. *)
+let messages_of_result (p : Policy.t) (r : Executor.result) : string list =
+  match
+    List.filter_map
+      (fun (row : Executor.row_out) ->
+        match row.Executor.values with
+        | [| Value.Str m |] -> Some m
+        | _ -> None)
+      r.Executor.out_rows
+  with
+  | [] -> [ p.Policy.message ]
+  | ms -> List.sort_uniq String.compare ms
 
 (* Incremental evaluation --------------------------------------------------- *)
 
@@ -568,11 +614,14 @@ let delta_entry t (p : Policy.t) : Executor.delta_compiled option =
 
 (* Try to decide a policy from its delta plans alone. [Some res] is a
    verdict: the policy's result over the full tentative state is empty
-   iff [res = None], and a non-empty [res] carries rows whose projections
-   are the policy's literal message (eligibility guarantees all-constant
-   projections, so the rows agree with full evaluation's). [None] means
-   no shortcut — delta off, plan ineligible, or the base invalidated —
-   and the caller must evaluate in full.
+   iff [res = None], and a non-empty [res] carries the union of every
+   variant's rows, deduplicated by value — equal, as a set, to the rows
+   full evaluation would produce, so message extraction downstream sees
+   the same set either way. (All variants must run: a unified policy's
+   firing members can be split across variants, and stopping at the
+   first non-empty one would truncate the message set.) [None] means no
+   shortcut — delta off, plan ineligible, or the base invalidated — and
+   the caller must evaluate in full.
 
    Soundness: a valid base says the query was empty over the state below
    the log relations' delta watermarks, the catalog generation is
@@ -601,22 +650,41 @@ let delta_try t ~(stats : Stats.t) (p : Policy.t) :
         (fun d -> stats.Stats.policy_eval <- stats.Stats.policy_eval +. d)
         (fun () ->
           stats.Stats.policy_calls <- stats.Stats.policy_calls + 1;
-          let rec go = function
-            | [] -> Some None
-            | c :: rest ->
-              let r = Executor.run_compiled c in
-              if r.Executor.out_rows = [] then go rest else Some (Some r)
+          let columns = ref [] in
+          let rows =
+            List.concat_map
+              (fun c ->
+                let r = Executor.run_compiled c in
+                if !columns = [] then columns := r.Executor.columns;
+                r.Executor.out_rows)
+              entry.Executor.delta_variants
           in
-          go entry.Executor.delta_variants)
+          match rows with
+          | [] -> Some None
+          | _ ->
+            let seen = Hashtbl.create 16 in
+            let rows =
+              List.filter
+                (fun (r : Executor.row_out) ->
+                  let k = Value.canonical_key_of_array r.Executor.values in
+                  if Hashtbl.mem seen k then false
+                  else begin
+                    Hashtbl.add seen k ();
+                    true
+                  end)
+                rows
+            in
+            Some (Some { Executor.columns = !columns; out_rows = rows }))
     end
 
 (* After an accepted submission: acceptance proved every active policy
    empty over the tentative state, of which the just-committed state is a
    subset (monotonicity), so every policy is empty over the committed
    state. Advance all log watermarks to the committed frontier and record
-   a base for each delta-eligible policy in the same breath — the
-   alignment of watermark and snapshot is what {!delta_try}'s soundness
-   argument rests on. *)
+   a base for each delta-eligible policy — and a relevance base for each
+   index-eligible one — in the same breath: the alignment of watermark
+   and snapshot is what {!delta_try}'s and {!irrelevant}'s soundness
+   arguments rest on. *)
 let establish_bases t (pl : plan) =
   let cat = Database.catalog t.db in
   List.iter
@@ -626,17 +694,66 @@ let establish_bases t (pl : plan) =
       | None -> ())
     t.generators;
   let gen = Catalog.generation cat in
-  List.iter
-    (fun (p : Policy.t) ->
-      match delta_entry t p with
-      | None -> ()
-      | Some entry ->
-        let vers =
-          Incremental.Delta_store.snapshot cat entry.Executor.delta_deps
-        in
-        Incremental.Delta_store.establish t.delta_store p.Policy.name ~gen
-          ~vers)
-    pl.active
+  if t.config.delta then
+    List.iter
+      (fun (p : Policy.t) ->
+        match delta_entry t p with
+        | None -> ()
+        | Some entry ->
+          let vers =
+            Incremental.Delta_store.snapshot cat entry.Executor.delta_deps
+          in
+          Incremental.Delta_store.establish t.delta_store p.Policy.name ~gen
+            ~vers)
+      pl.active;
+  if t.config.relevance then
+    List.iter
+      (fun (p : Policy.t) ->
+        match Relevance.info pl.relevance p.Policy.name with
+        | Some info when info.Relevance.eligible ->
+          let vers =
+            Incremental.Delta_store.snapshot cat info.Relevance.deps
+          in
+          Incremental.Delta_store.establish t.relevance_store p.Policy.name
+            ~gen ~vers
+        | Some _ | None -> ())
+      pl.active
+
+(* The relevance index's skip decision (see {!Relevance} for the full
+   soundness argument): the policy is index-eligible, its base — proof
+   that it was empty over the last committed state — still validates
+   against the catalog generation and every dependency's version
+   counter (waived for TI-pinned policies, whose verdict is decided at
+   the current tick alone), its enumerated filter sources are
+   untouched, and no row of the tentative increment can bind any of its
+   log slots. All of that together pins the result to the base's:
+   empty, so evaluation is skipped. Read-only over frozen state, so
+   safe inside pool tasks. *)
+let irrelevant ?available t (pl : plan) (p : Policy.t) : bool =
+  t.config.relevance
+  &&
+  match Relevance.info pl.relevance p.Policy.name with
+  | None -> false
+  | Some info ->
+    info.Relevance.eligible
+    && begin
+      Atomic.incr t.rel_checks;
+      let cat = Database.catalog t.db in
+      (* A TI-pinned policy's verdict is emptiness at the current tick —
+         blocked slots decide it with no base (its clock dependency
+         would invalidate one every submission anyway). *)
+      let based =
+        info.Relevance.ti_pinned
+        ||
+        let gen = Catalog.generation cat in
+        let vers = Incremental.Delta_store.snapshot cat info.Relevance.deps in
+        Incremental.Delta_store.valid t.relevance_store p.Policy.name ~gen
+          ~vers
+      in
+      let skip = based && Relevance.blocked ?available cat info in
+      if skip then Atomic.incr t.rel_skips;
+      skip
+    end
 
 type delta_stats = {
   eligible_plans : int;
@@ -661,6 +778,44 @@ let delta_stats t : delta_stats =
     delta_bases = s.Incremental.Delta_store.bases;
     delta_evals = s.Incremental.Delta_store.delta_evals;
     full_evals = s.Incremental.Delta_store.full_evals;
+  }
+
+type relevance_stats = {
+  rel_indexed : int;  (** active policies in the index *)
+  rel_eligible : int;  (** of those, index-eligible *)
+  rel_checks : int;  (** skip decisions consulted *)
+  rel_skips : int;  (** policies skipped without evaluation *)
+}
+
+let relevance_stats t : relevance_stats =
+  let idx = (plan t).relevance in
+  {
+    rel_indexed = Relevance.size idx;
+    rel_eligible = Relevance.eligible_count idx;
+    rel_checks = Atomic.get t.rel_checks;
+    rel_skips = Atomic.get t.rel_skips;
+  }
+
+(* (hits, misses) of the shared-scan materialization cache. *)
+let shared_scan_stats t = Prepared.shared_stats t.prepared
+
+type unify_stats = {
+  unify_registered : int;  (** policies as registered *)
+  unify_active : int;  (** policies after unification / rewriting *)
+  unify_groups : int;  (** unified groups *)
+  unify_members : int;  (** registered policies absorbed into groups *)
+}
+
+let unify_stats t : unify_stats =
+  let pl = plan t in
+  {
+    unify_registered = List.length t.registered;
+    unify_active = List.length pl.active;
+    unify_groups = List.length pl.unified_groups;
+    unify_members =
+      List.fold_left
+        (fun n (g : Unify.group) -> n + List.length g.Unify.members)
+        0 pl.unified_groups;
   }
 
 (* §4.3 improved partial policies: a non-empty partial result whose rows
@@ -716,21 +871,24 @@ let independent_of_increment t ~(stats : Stats.t) (sub : submission)
    back in input order, keeping the violation list in registration-rank
    order exactly as the serial loop produces it. With [domains = 1]
    ([pool = None]) this is the pre-existing serial loop, unchanged. *)
-let eval_full t (sub : submission) (pool : Parallel.Pool.t option)
+let eval_full t (sub : submission) (pool : Parallel.Pool.t option) (pl : plan)
     (ps : Policy.t list) : (Policy.t * string) list =
   let eval stats p =
-    match delta_try t ~stats p with
-    | Some None -> None (* delta plans all empty: policy holds *)
-    | Some (Some r) -> Some (p, message_of_result p r)
-    | None -> (
-      match eval_query t ~stats p.Policy.query with
-      | Some r -> Some (p, message_of_result p r)
-      | None -> None)
+    if irrelevant t pl p then [] (* increment can't touch it: holds *)
+    else
+      match delta_try t ~stats p with
+      | Some None -> [] (* delta plans all empty: policy holds *)
+      | Some (Some r) ->
+        List.map (fun m -> (p, m)) (messages_of_result p r)
+      | None -> (
+        match eval_query t ~stats p.Policy.query with
+        | Some r -> List.map (fun m -> (p, m)) (messages_of_result p r)
+        | None -> [])
   in
   match pool with
   | Some pool when List.length ps > 1 ->
-    List.filter_map Fun.id (par_map t sub pool eval ps)
-  | Some _ | None -> List.filter_map (eval sub.stats) ps
+    List.concat (par_map t sub pool eval ps)
+  | Some _ | None -> List.concat_map (eval sub.stats) ps
 
 (* Interleaved policy evaluation (Algorithm 3). Returns violations. *)
 let run_interleaved t (sub : submission) (pool : Parallel.Pool.t option)
@@ -745,16 +903,29 @@ let run_interleaved t (sub : submission) (pool : Parallel.Pool.t option)
   let available = ref [] in
   List.iter
     (fun g ->
-      if !remaining <> [] then begin
-        let rel = lc g.Usage_log.relation in
+      let rel = lc g.Usage_log.relation in
+      (* Retained relations are generated even after every policy has
+         been pruned: their increment must reach the committed log
+         whether or not checking still needs it — and pruning speed
+         (which the relevance index changes) must never leak into the
+         log's contents. *)
+      if !remaining <> [] || List.mem rel pl.store_rels then begin
         gen_rel t sub rel;
-        available := rel :: !available;
+        available := rel :: !available
+      end;
+      if !remaining <> [] then begin
         (* One partial-policy check per remaining policy: independent
            read-only queries over the logs generated so far (the
            increment for [rel] is already appended), so with a pool they
            run as one parallel batch; the filter keeps input order
            either way. *)
         let keep stats p =
+          (* The relevance index first: the slots restricted to the
+             relations generated so far, whose deltas are final. A
+             skipped policy is proved to hold outright — no partial
+             check now, no full evaluation later. *)
+          if irrelevant ~available:!available t pl p then false
+          else
           (* Interleavable policies evaluate the genuine πS; policies
              admitted via core-prunability evaluate the monotone
              HAVING-stripped core instead (empty core ⇒ π empty). *)
@@ -801,15 +972,15 @@ let run_interleaved t (sub : submission) (pool : Parallel.Pool.t option)
   (* Policies still standing are evaluated in full: interleavable ones are
      genuine violations (S covers their relations), core-pruned ones may
      still be saved by their HAVING. *)
-  eval_full t sub pool !remaining
+  eval_full t sub pool pl !remaining
 
 (* Serial / union evaluation over a policy list. *)
-let run_serial t (sub : submission) (pool : Parallel.Pool.t option)
+let run_serial t (sub : submission) (pool : Parallel.Pool.t option) (pl : plan)
     (ps : Policy.t list) : (Policy.t * string) list =
   List.iter (fun p -> List.iter (gen_rel t sub) p.Policy.log_rels) ps;
-  eval_full t sub pool ps
+  eval_full t sub pool pl ps
 
-let run_union t (sub : submission) (pool : Parallel.Pool.t option)
+let run_union t (sub : submission) (pool : Parallel.Pool.t option) (pl : plan)
     (ps : Policy.t list) : (Policy.t * string) list =
   match ps with
   | [] -> []
@@ -826,9 +997,11 @@ let run_union t (sub : submission) (pool : Parallel.Pool.t option)
         let rs =
           par_map t sub pool
             (fun stats p ->
-              match delta_try t ~stats p with
-              | Some res -> res
-              | None -> eval_query t ~stats p.Policy.query)
+              if irrelevant t pl p then None
+              else
+                match delta_try t ~stats p with
+                | Some res -> res
+                | None -> eval_query t ~stats p.Policy.query)
             ps
         in
         if List.for_all Option.is_none rs then None
@@ -848,12 +1021,14 @@ let run_union t (sub : submission) (pool : Parallel.Pool.t option)
         let fallback =
           List.filter
             (fun p ->
-              match delta_try t ~stats:sub.stats p with
-              | Some None -> false
-              | Some (Some r) ->
-                delta_rows := !delta_rows @ r.Executor.out_rows;
-                false
-              | None -> true)
+              if irrelevant t pl p then false
+              else
+                match delta_try t ~stats:sub.stats p with
+                | Some None -> false
+                | Some (Some r) ->
+                  delta_rows := !delta_rows @ r.Executor.out_rows;
+                  false
+                | None -> true)
             ps
         in
         let union_rows =
@@ -884,13 +1059,23 @@ let run_union t (sub : submission) (pool : Parallel.Pool.t option)
           rows
         |> List.sort_uniq String.compare
       in
-      List.filter_map
-        (fun p ->
-          if List.mem p.Policy.message messages then Some (p, p.Policy.message)
-          else None)
-        ps
-      |> fun hits ->
-      if hits = [] then List.map (fun m -> (first, m)) messages else hits)
+      let hits =
+        List.filter_map
+          (fun p ->
+            if List.mem p.Policy.message messages then
+              Some (p, p.Policy.message)
+            else None)
+          ps
+      in
+      (* Messages no registered message claims — a unified policy's
+         lifted member messages — are attributed to [first] so none are
+         dropped from the rejection, whether or not other policies also
+         fired. *)
+      let claimed = List.map snd hits in
+      let extras =
+        List.filter (fun m -> not (List.mem m claimed)) messages
+      in
+      hits @ List.map (fun m -> (first, m)) extras)
 
 (* Log compaction (Algorithm 2 + §4.3 preemptive check) ------------------- *)
 
@@ -1189,13 +1374,13 @@ let submit_ast t ~(uid : int) ?(extra = []) (query : Ast.query) : outcome =
   match
     let violations =
       match t.config.strategy with
-      | Union_all -> run_union t sub pool pl.active
-      | Serial -> run_serial t sub pool pl.active
+      | Union_all -> run_union t sub pool pl pl.active
+      | Serial -> run_serial t sub pool pl pl.active
       | Interleaved ->
         (* Algorithm 3 on the interleavable policies, then the rest in
            full, as in the §4.4 online phase. *)
         let v1 = run_interleaved t sub pool pl in
-        let v2 = run_serial t sub pool pl.rest in
+        let v2 = run_serial t sub pool pl pl.rest in
         v1 @ v2
     in
     t.last_violations <- List.map fst violations;
@@ -1206,7 +1391,7 @@ let submit_ast t ~(uid : int) ?(extra = []) (query : Ast.query) : outcome =
     end
     else begin
       commit_logs t sub pool pl ~now;
-      if t.config.delta then establish_bases t pl;
+      if t.config.delta || t.config.relevance then establish_bases t pl;
       let result =
         Stats.timed
           (fun d -> sub.stats.Stats.query_exec <- sub.stats.Stats.query_exec +. d)
@@ -1368,7 +1553,7 @@ let submit_batch t (subs : batch_submission list) :
             in
             List.iter (gen_rel_for t sub ctx) rels)
           subs;
-        eval_full t sub pool pl.active
+        eval_full t sub pool pl pl.active
       with
       | [] ->
         t.adm_fast <- t.adm_fast + 1;
@@ -1380,7 +1565,7 @@ let submit_batch t (subs : batch_submission list) :
          with e ->
            rollback_all ();
            raise e);
-        if t.config.delta then establish_bases t pl;
+        if t.config.delta || t.config.relevance then establish_bases t pl;
         List.map
           (fun s ->
             let stats = Stats.create () in

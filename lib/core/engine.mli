@@ -40,6 +40,24 @@ type config = {
           non-monotone table mutations — transparently fall back to full
           re-evaluation, so decisions, messages and log contents are
           identical either way. Defaults to {!default_delta}. *)
+  relevance : bool;
+      (** the policy relevance index: per active policy, the log slots
+          its query binds and the equality filters gating them
+          ({!Relevance}). On every submission the engine skips — without
+          evaluating — each policy whose proved-empty base still
+          validates and whose slots no row of the tentative increment
+          can bind. Decisions, messages and log contents are identical
+          either way; with thousands of template-instantiated policies,
+          the per-submission work shrinks to the handful of policies the
+          touched schema elements select. *)
+  shared_scans : bool;
+      (** multi-query shared subplans: policy plans rewrite their
+          base-table scan-plus-filter prefixes into shared
+          materialization points ({!Relational.Plan.Shared}) served by a
+          per-engine cache, so the policies of one admission scan each
+          log table once instead of once per policy. Entries
+          self-validate against table versions; results are identical
+          either way. *)
 }
 
 (** The default for {!config}[.domains]: [DL_DOMAINS] from the
@@ -50,6 +68,10 @@ val default_domains : int
 (** The default for {!config}[.delta]: on, unless the environment sets
     [DL_DELTA=0]. *)
 val default_delta : bool
+
+(** The default for {!config}[.unification]: on, unless the environment
+    sets [DL_UNIFY=0] (CI pins the unrolled path with it). *)
+val default_unify : bool
 
 (** The NoOpt baseline of Algorithm 1: generate only the logs the
     policies mention, evaluate their union, never compact. *)
@@ -68,6 +90,7 @@ type plan = {
       (** log relations referenced by a time-dependent policy: only these
           ever need persisting *)
   unified_groups : Unify.group list;
+  relevance : Relevance.t;  (** the relevance index over [active] *)
 }
 
 type t
@@ -153,6 +176,34 @@ type delta_stats = {
     the current active policy set plus the engine-lifetime delta/full
     evaluation counters. Forces the offline plan if stale. *)
 val delta_stats : t -> delta_stats
+
+(** Relevance-index counters, under the current configuration. *)
+type relevance_stats = {
+  rel_indexed : int;  (** active policies in the index *)
+  rel_eligible : int;  (** of those, index-eligible *)
+  rel_checks : int;  (** skip decisions consulted *)
+  rel_skips : int;  (** policies skipped without evaluation *)
+}
+
+(** Index shape over the current active set plus the engine-lifetime
+    check/skip counters. Forces the offline plan if stale. *)
+val relevance_stats : t -> relevance_stats
+
+(** (hits, misses) of the shared-scan materialization cache: a hit is a
+    policy plan reusing rows another plan of the same admission already
+    materialized for the same scan-plus-filter prefix. *)
+val shared_scan_stats : t -> int * int
+
+(** Unification shape of the current offline plan. *)
+type unify_stats = {
+  unify_registered : int;  (** policies as registered *)
+  unify_active : int;  (** policies after unification / rewriting *)
+  unify_groups : int;  (** unified groups *)
+  unify_members : int;  (** registered policies absorbed into groups *)
+}
+
+(** Forces the offline plan if stale. *)
+val unify_stats : t -> unify_stats
 
 (** Check-and-execute one query (the §4.4 online phase). [extra] is
     passed to custom log-generating functions. *)

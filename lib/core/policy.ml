@@ -30,6 +30,8 @@ type t = {
   name : string;
   source : string;  (** SQL text as registered *)
   query : Ast.query;  (** qualified; possibly rewritten by optimizations *)
+  shape : Ast.query;  (** [query] with every literal masked: the template
+                          identity unification groups by *)
   message : string;
   log_rels : string list;  (** lowercased usage-log relations referenced *)
   monotone : bool;
@@ -189,6 +191,7 @@ let create (cat : Catalog.t) ~(is_log : string -> bool) ~(name : string)
     name;
     source;
     query;
+    shape = Ast.mask_literals query;
     message = message_of query ~default:(Printf.sprintf "policy %s violated" name);
     log_rels = Analysis.log_relations ~is_log query;
     monotone = monotone query;
@@ -206,6 +209,7 @@ let with_query ~is_log (p : t) (query : Ast.query) : t =
   {
     p with
     query;
+    shape = Ast.mask_literals query;
     log_rels = Analysis.log_relations ~is_log query;
     monotone = monotone query;
     interleavable = interleavable ~is_log query;

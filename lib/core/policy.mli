@@ -10,6 +10,10 @@ type t = {
   name : string;
   source : string;  (** SQL text as registered *)
   query : Ast.query;  (** qualified; possibly rewritten by optimizations *)
+  shape : Ast.query;
+      (** [query] with every literal masked ({!Ast.mask_literals}):
+          the template identity policy unification groups by, computed
+          once at registration *)
   message : string;  (** the error-message literal, or a default *)
   log_rels : string list;  (** lowercased usage-log relations referenced *)
   monotone : bool;

@@ -31,7 +31,7 @@
 
 open Relational
 
-type key = { q : Ast.query; lineage : bool; track_src : bool }
+type key = { q : Ast.query; lineage : bool; track_src : bool; share : bool }
 
 type shard = {
   cache : (key, Executor.compiled) Hashtbl.t;
@@ -46,6 +46,13 @@ type t = {
   cat : Catalog.t;
   lock : Mutex.t;  (** guards [shards]; per-shard state is domain-private *)
   shards : (int, shard) Hashtbl.t;  (** domain id -> private shard *)
+  shared : Compile.arow list Shared_cache.t;
+      (** cross-domain materialization cache behind {!Plan.Shared} slots:
+          compiled plans stay domain-private, but the immutable row lists
+          their shared scan prefixes produce are served from here, so one
+          domain's materialization feeds every policy of the admission.
+          Self-validating against (generation, table version) — no [sync]
+          discipline needed *)
 }
 
 (* Witness probes bake the current timestamp into their AST, so a
@@ -54,7 +61,12 @@ type t = {
 let capacity = 1024
 
 let create (cat : Catalog.t) : t =
-  { cat; lock = Mutex.create (); shards = Hashtbl.create 4 }
+  {
+    cat;
+    lock = Mutex.create ();
+    shards = Hashtbl.create 4;
+    shared = Shared_cache.create ();
+  }
 
 let shard_for t : shard =
   let id = (Domain.self () :> int) in
@@ -86,19 +98,28 @@ let sync t (s : shard) =
     s.gen <- g
   end
 
-let prepare t ?(opts = Executor.default_opts) (q : Ast.query) : Executor.compiled
-    =
+let prepare t ?(opts = Executor.default_opts) ?(share = false)
+    (q : Ast.query) : Executor.compiled =
   let s = shard_for t in
   sync t s;
+  (* Provenance annotations are slot-specific; such plans never share,
+     so don't fragment the cache key space over the flag. *)
+  let share = share && (not opts.Executor.lineage) && not opts.Executor.track_src in
   let k =
-    { q; lineage = opts.Executor.lineage; track_src = opts.Executor.track_src }
+    {
+      q;
+      lineage = opts.Executor.lineage;
+      track_src = opts.Executor.track_src;
+      share;
+    }
   in
   match Hashtbl.find_opt s.cache k with
   | Some c ->
     s.hits <- s.hits + 1;
     c
   | None ->
-    let c = Executor.prepare ~opts t.cat q in
+    let shared = if share then Some t.shared else None in
+    let c = Executor.prepare ~opts ?shared t.cat q in
     if Hashtbl.length s.cache >= capacity then Hashtbl.reset s.cache;
     Hashtbl.replace s.cache k c;
     s.misses <- s.misses + 1;
@@ -119,9 +140,9 @@ let prepare_delta t ~is_log ~clock_rel (q : Ast.query) :
     Hashtbl.replace s.delta q d;
     d
 
-let run t ?opts q = Executor.run_compiled (prepare t ?opts q)
+let run t ?opts ?share q = Executor.run_compiled (prepare t ?opts ?share q)
 
-let is_empty t ?opts q = (run t ?opts q).Executor.out_rows = []
+let is_empty t ?opts ?share q = (run t ?opts ?share q).Executor.out_rows = []
 
 (* Aggregated over all shards. Called from the coordinating domain
    between batches; the lock only orders shard creation against us. *)
@@ -135,6 +156,8 @@ let stats t =
   Mutex.unlock t.lock;
   (hits, misses)
 
+let shared_stats t = Shared_cache.stats t.shared
+
 let clear t =
   Mutex.lock t.lock;
   Hashtbl.iter
@@ -142,4 +165,5 @@ let clear t =
       Hashtbl.reset s.cache;
       Hashtbl.reset s.delta)
     t.shards;
-  Mutex.unlock t.lock
+  Mutex.unlock t.lock;
+  Shared_cache.clear t.shared

@@ -16,9 +16,15 @@ type t
 
 val create : Catalog.t -> t
 
-(** Fetch or compile the plan for [q] under [opts].
+(** Fetch or compile the plan for [q] under [opts]. With [share], the
+    plan's base-table scan prefixes materialize through a single
+    cross-domain {!Relational.Shared_cache}, so identical prefixes
+    across the policies of one admission scan the table once (ignored
+    under lineage or source-tid options — those annotations are
+    slot-specific).
     @raise Errors.Sql_error on binding failures (never cached). *)
-val prepare : t -> ?opts:Executor.opts -> Ast.query -> Executor.compiled
+val prepare :
+  t -> ?opts:Executor.opts -> ?share:bool -> Ast.query -> Executor.compiled
 
 (** Fetch or derive+compile the delta variants of [q] (see
     {!Executor.prepare_delta}); ineligibility ([None]) is cached too, so
@@ -31,12 +37,18 @@ val prepare_delta :
   Executor.delta_compiled option
 
 (** [prepare] + execute. *)
-val run : t -> ?opts:Executor.opts -> Ast.query -> Executor.result
+val run :
+  t -> ?opts:Executor.opts -> ?share:bool -> Ast.query -> Executor.result
 
-val is_empty : t -> ?opts:Executor.opts -> Ast.query -> bool
+val is_empty : t -> ?opts:Executor.opts -> ?share:bool -> Ast.query -> bool
 
 (** (hits, misses) since creation. *)
 val stats : t -> int * int
+
+(** (hits, misses) of the shared-scan materialization cache: a hit is a
+    policy plan reusing rows another plan already materialized for the
+    same scan-plus-filter prefix at the same table version. *)
+val shared_stats : t -> int * int
 
 (** Drop every cached plan (the statistics survive). *)
 val clear : t -> unit

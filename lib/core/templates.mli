@@ -76,3 +76,15 @@ val reuse_cap :
   ?message:string ->
   unit ->
   string
+
+(** One instance of a constructor per uid, named ["<prefix>_u<uid>"]. All
+    instances share one shape ({!Policy.t.shape}), so the engine unifies
+    them into a single template + constants-table policy. *)
+val per_user :
+  name_prefix:string -> uids:int list -> (subject:subject -> string) ->
+  (string * string) list
+
+(** One instance per relation, named ["<prefix>_<relation>"]. *)
+val per_relation :
+  name_prefix:string -> relations:string list -> (relation:string -> string) ->
+  (string * string) list

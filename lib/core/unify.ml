@@ -1,101 +1,141 @@
 (** Policy unification (§4.2.2).
 
-    Policies that are structurally identical except for a single literal
-    constant (e.g. one rate-limit policy per user group) are consolidated
-    into one policy that joins against a generated constants table and
-    groups by the constant — Example 4.6. Evaluation cost then stays
-    constant in the number of unified policies (Fig. 5).
+    Policies that are structurally identical except for literal constants
+    (e.g. one rate-limit policy per user, per group, per dataset) are
+    consolidated into one {e template} policy that joins a generated
+    constants table carrying one column per differing literal position and
+    one row per member instance, grouping by the constants — the n-way
+    generalization of Example 4.6. Evaluation cost then stays constant in
+    the number of unified instances (Fig. 5): 10k instances of one
+    template cost one evaluation.
 
-    Policies are grouped by their {e shape}: the query with every literal
-    (and the error-message projection) replaced by a placeholder. A group
-    unifies when its members' literal vectors differ in exactly one
-    non-message position and the differing values share a type. *)
+    Policies are grouped by their {e shape} — the masked query carried on
+    {!Policy.t.shape}, computed once at registration — so grouping never
+    re-discovers templates by printing and string-comparing SQL. A group
+    unifies when every differing position sits in a clause of the
+    top-level SELECT (the constants alias is only in scope there) and the
+    differing values of each position share a type. Differing
+    error-message literals are lifted like any other constant, so the
+    unified policy projects each member's {e original} message — verdicts
+    and messages are identical to unrolled evaluation. *)
 
 open Relational
 
 type group = {
   policy : Policy.t;  (** the unified replacement policy *)
   members : Policy.t list;  (** original policies it subsumes *)
-  constants_table : string;
+  constants_table : string option;
+      (** the generated [dl_constants_<k>] table; [None] when the members
+          are exact duplicates and no constants are needed *)
 }
 
 type outcome = { policies : Policy.t list; groups : group list }
 
-let placeholder = Value.Str "\x00dl_placeholder"
-
 let constants_alias = "dl_consts"
 
-(* The shape key of a policy query. *)
-let shape_key (q : Ast.query) : string =
-  let masked =
-    List.fold_left
-      (fun q (site : Ast.lit_site) ->
-        Ast.query_map_literal q ~path:site.Ast.path ~f:(fun _ -> Ast.Lit placeholder))
-      q (Ast.query_literals q)
-  in
-  Sql_print.query masked
+let const_col j = Printf.sprintf "c%d" j
 
-let is_message_path (path : string) =
-  (* Literal inside a top-level select item: path "q.i<k>..." *)
-  String.length path > 3 && String.sub path 0 3 = "q.i"
-
-(* Try to unify one shape-group of policies. *)
+(* Try to unify one shape-group of policies (already known to share a
+   masked shape, hence the same literal-site skeleton). *)
 let unify_group (cat : Catalog.t) ~(is_log : string -> bool) ~(index : int)
     (ps : Policy.t list) : group option =
   match ps with
   | [] | [ _ ] -> None
   | first :: _ ->
-    let sites = List.map (fun p -> Ast.query_literals p.Policy.query) ps in
-    let nsites = List.length (List.hd sites) in
-    if List.exists (fun s -> List.length s <> nsites) sites then None
+    let n = List.length ps in
+    let sites =
+      Array.of_list
+        (List.map (fun p -> Array.of_list (Ast.query_literals p.Policy.query)) ps)
+    in
+    let nsites = Array.length sites.(0) in
+    if Array.exists (fun s -> Array.length s <> nsites) sites then None
     else begin
       (* Positions whose values differ across members. *)
-      let differing =
-        List.filter
-          (fun i ->
-            let vals =
-              List.map (fun s -> (List.nth s i : Ast.lit_site).Ast.value) sites
-            in
-            match vals with
-            | v :: vs -> not (List.for_all (Value.equal v) vs)
-            | [] -> false)
-          (List.init nsites (fun i -> i))
-      in
-      let differing_non_msg =
-        List.filter
-          (fun i -> not (is_message_path (List.nth (List.hd sites) i).Ast.path))
-          differing
-      in
-      match differing_non_msg with
-      | [ pos ] -> (
-        let path = (List.nth (List.hd sites) pos).Ast.path in
-        let values =
-          List.map (fun s -> (List.nth s pos : Ast.lit_site).Ast.value) sites
+      let differing = ref [] in
+      for i = nsites - 1 downto 0 do
+        let v0 = sites.(0).(i).Ast.value in
+        let d = ref false in
+        for j = 1 to n - 1 do
+          if not (Value.equal v0 sites.(j).(i).Ast.value) then d := true
+        done;
+        if !d then differing := i :: !differing
+      done;
+      match !differing with
+      | [] ->
+        (* Exact duplicates: the first member subsumes the whole group. *)
+        Some
+          {
+            policy = { first with Policy.name = Printf.sprintf "unified_%d" index };
+            members = ps;
+            constants_table = None;
+          }
+      | positions -> (
+        (* The constants columns are only in scope in the top-level
+           SELECT's own clauses: a differing literal buried in a FROM
+           subquery or UNION branch cannot reference them. *)
+        let in_scope i =
+          match sites.(0).(i).Ast.clause with
+          | Ast.Clause_from _ | Ast.Clause_union -> false
+          | _ -> true
         in
-        match Value.type_of (List.hd values) with
-        | None -> None
-        | Some ty
-          when List.for_all (fun v -> Value.type_of v = Some ty) values ->
-          (* Create (or refresh) the constants table. *)
+        (* The shared value type of position [i], if any. *)
+        let column_type i =
+          match Value.type_of sites.(0).(i).Ast.value with
+          | None -> None
+          | Some ty ->
+            let ok = ref true in
+            for j = 1 to n - 1 do
+              if Value.type_of sites.(j).(i).Ast.value <> Some ty then ok := false
+            done;
+            if !ok then Some ty else None
+        in
+        let types =
+          if List.for_all in_scope positions then
+            List.fold_right
+              (fun i acc ->
+                match (acc, column_type i) with
+                | Some tys, Some ty -> Some (ty :: tys)
+                | _ -> None)
+              positions (Some [])
+          else None
+        in
+        match (types, first.Policy.query) with
+        | None, _ | _, Ast.Union _ -> None
+        | Some tys, Ast.Select _ ->
+          (* Create (or refresh) the constants table: one typed column per
+             differing position, one row per distinct member constant
+             vector. *)
           let table_name = Printf.sprintf "dl_constants_%d" index in
           if Catalog.mem cat table_name then Catalog.drop cat table_name;
-          let table =
-            Catalog.create_table cat ~name:table_name
-              ~schema:(Schema.make [ ("const", ty) ])
-          in
-          let seen = Hashtbl.create 8 in
-          List.iter
-            (fun v ->
-              let k = Value.canonical_key v in
-              if not (Hashtbl.mem seen k) then begin
-                Hashtbl.add seen k ();
-                ignore (Table.insert table [| v |])
+          let schema = Schema.make (List.mapi (fun j ty -> (const_col j, ty)) tys) in
+          let table = Catalog.create_table cat ~name:table_name ~schema in
+          let seen = Hashtbl.create (2 * n) in
+          Array.iter
+            (fun s ->
+              let row =
+                Array.of_list
+                  (List.map (fun i -> (s.(i) : Ast.lit_site).Ast.value) positions)
+              in
+              let key = Value.canonical_key_of_array row in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.add seen key ();
+                ignore (Table.insert table row)
               end)
-            values;
-          (* Rewrite the first member's query. *)
-          let const_ref = Ast.Col (Some constants_alias, "const") in
+            sites;
+          (* Rewrite the template query: each differing literal becomes a
+             reference to its constants column. Message literals are
+             lifted like any other constant, so firing rows project the
+             original member messages. *)
           let q =
-            Ast.query_map_literal first.Policy.query ~path ~f:(fun _ -> const_ref)
+            List.fold_left
+              (fun q (j, i) ->
+                Ast.query_map_literal q ~path:sites.(0).(i).Ast.path ~f:(fun _ ->
+                    Ast.Col (Some constants_alias, const_col j)))
+              first.Policy.query
+              (List.mapi (fun j i -> (j, i)) positions)
+          in
+          let const_refs =
+            List.mapi (fun j _ -> Ast.Col (Some constants_alias, const_col j)) positions
           in
           let q =
             match q with
@@ -117,24 +157,10 @@ let unify_group (cat : Catalog.t) ~(is_log : string -> bool) ~(index : int)
                         Ast.From_table
                           { name = table_name; alias = Some constants_alias };
                       ];
+                  (* Grouping by the constants gives one group per member
+                     instance — the n-way Example 4.6. *)
                   group_by =
-                    (if has_agg then s.group_by @ [ const_ref ] else s.group_by);
-                }
-            | q -> q
-          in
-          let message =
-            Printf.sprintf "%s (unified over %d policies)" first.Policy.message
-              (List.length ps)
-          in
-          (* Swap the error-message literal for the unified message. *)
-          let q =
-            match q with
-            | Ast.Select ({ items = Ast.Sel_expr (Ast.Lit (Value.Str _), a) :: rest; _ } as s)
-              ->
-              Ast.Select
-                {
-                  s with
-                  items = Ast.Sel_expr (Ast.Lit (Value.Str message), a) :: rest;
+                    (if has_agg then s.group_by @ const_refs else s.group_by);
                 }
             | q -> q
           in
@@ -142,23 +168,20 @@ let unify_group (cat : Catalog.t) ~(is_log : string -> bool) ~(index : int)
             {
               (Policy.with_query ~is_log first q) with
               Policy.name = Printf.sprintf "unified_%d" index;
-              message;
             }
           in
-          Some { policy; members = ps; constants_table = table_name }
-        | Some _ -> None)
-      | _ -> None
+          Some { policy; members = ps; constants_table = Some table_name })
     end
 
 (* Run unification over a policy set. Policies that do not unify are
    returned unchanged. *)
 let run (cat : Catalog.t) ~(is_log : string -> bool) (policies : Policy.t list) :
     outcome =
-  let by_shape = Hashtbl.create 8 in
+  let by_shape : (Ast.query, Policy.t list ref) Hashtbl.t = Hashtbl.create 64 in
   let order = ref [] in
   List.iter
     (fun p ->
-      let key = shape_key p.Policy.query in
+      let key = p.Policy.shape in
       match Hashtbl.find_opt by_shape key with
       | Some cell -> cell := p :: !cell
       | None ->

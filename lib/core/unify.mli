@@ -1,16 +1,22 @@
-(** Policy unification (§4.2.2).
+(** Policy unification (§4.2.2), n-way.
 
-    Policies structurally identical except for a single literal constant
-    are consolidated into one policy that joins a generated constants
-    table and groups by the constant (Example 4.6), making evaluation
-    cost constant in the number of unified policies (Fig. 5). *)
+    Policies structurally identical except for literal constants are
+    consolidated into one template policy joining a generated constants
+    table (one column per differing literal position, one row per member
+    instance) and grouping by the constants — the n-way generalization of
+    Example 4.6. Differing error-message literals are lifted too, so the
+    unified policy projects each member's original message and unified
+    evaluation is verdict- and message-identical to unrolled
+    evaluation. *)
 
 open Relational
 
 type group = {
   policy : Policy.t;  (** the unified replacement policy *)
   members : Policy.t list;  (** original policies it subsumes *)
-  constants_table : string;  (** the generated [dl_constants_<k>] table *)
+  constants_table : string option;
+      (** the generated [dl_constants_<k>] table; [None] when the members
+          are exact duplicates and no constants are needed *)
 }
 
 type outcome = { policies : Policy.t list; groups : group list }
@@ -18,7 +24,11 @@ type outcome = { policies : Policy.t list; groups : group list }
 (** Alias under which the constants table is joined (["dl_consts"]). *)
 val constants_alias : string
 
-(** Group policies by shape and unify the eligible groups; creates (or
-    refreshes) the constants tables in the catalog. Policies that do not
-    unify are returned unchanged, in order. *)
+(** Name of the [j]-th constants column (["c<j>"]). *)
+val const_col : int -> string
+
+(** Group policies by their registration-time {!Policy.t.shape} and unify
+    the eligible groups; creates (or refreshes) the constants tables in
+    the catalog. Policies that do not unify are returned unchanged, in
+    order. *)
 val run : Catalog.t -> is_log:(string -> bool) -> Policy.t list -> outcome

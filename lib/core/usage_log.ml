@@ -35,8 +35,9 @@ type generator = {
 }
 
 let clock_relation = "clock"
+let time_column = "ts"
 
-let full_schema (g : generator) = ("ts", Ty.Int) :: g.columns
+let full_schema (g : generator) = (time_column, Ty.Int) :: g.columns
 
 (* Register a log relation (with its ts column) in the catalog. *)
 let install_relation (db : Database.t) (g : generator) =

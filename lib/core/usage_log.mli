@@ -36,6 +36,12 @@ type generator = {
 (** Name of the single-row clock relation (["clock"]). *)
 val clock_relation : string
 
+(** Name of the timestamp column every log relation leads with (["ts"]).
+    Submissions append all their increments at one clock tick, so two
+    log rows with equal timestamps come from the same submission — the
+    fact the relevance index's timestamp-join analysis rests on. *)
+val time_column : string
+
 (** The generator's on-disk schema {e including} the leading [ts]
     column — what {!install_relation} creates and what the persistence
     layer validates recovered snapshots against. *)

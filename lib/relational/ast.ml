@@ -169,54 +169,113 @@ let equal_expr (a : expr) (b : expr) = a = b
 let equal_query (a : query) (b : query) = a = b
 
 (* Collect every literal in a query together with a mutation function that
-   replaces it; used by policy unification to find the single differing
-   constant between two policies. The path is a stable identifier of the
-   literal's syntactic position. *)
-type lit_site = { path : string; value : Value.t }
+   replaces it; used by policy unification to find the differing constants
+   between template-instantiated policies. The path is a stable identifier
+   of the literal's syntactic position; the clause records which clause of
+   the top-level query the literal syntactically falls under, so consumers
+   (e.g. unification's message detection) never parse path strings. *)
+type lit_clause =
+  | Clause_item of int  (** [i]-th select item of the top-level SELECT *)
+  | Clause_from of int  (** inside the [i]-th FROM subquery *)
+  | Clause_where
+  | Clause_group_by of int
+  | Clause_having
+  | Clause_order_by of int
+  | Clause_union  (** inside a UNION branch *)
+
+type lit_site = { path : string; clause : lit_clause; value : Value.t }
+
+(* A literal that is (part of) a select item of the top-level SELECT: the
+   position policy messages are projected from. *)
+let is_message_site (s : lit_site) =
+  match s.clause with Clause_item _ -> true | _ -> false
 
 let query_literals (q : query) : lit_site list =
   let out = ref [] in
-  let add path v = out := { path; value = v } :: !out in
-  let rec walk_expr path = function
-    | Lit v -> add path v
+  let add clause path v = out := { path; clause; value = v } :: !out in
+  let rec walk_expr clause path = function
+    | Lit v -> add clause path v
     | Col _ -> ()
     | Binop (_, a, b) ->
-      walk_expr (path ^ "l") a;
-      walk_expr (path ^ "r") b
-    | Unop (_, a) -> walk_expr (path ^ "u") a
-    | Agg_call (_, _, arg) -> Option.iter (walk_expr (path ^ "a")) arg
+      walk_expr clause (path ^ "l") a;
+      walk_expr clause (path ^ "r") b
+    | Unop (_, a) -> walk_expr clause (path ^ "u") a
+    | Agg_call (_, _, arg) -> Option.iter (walk_expr clause (path ^ "a")) arg
     | Fn_call (_, args) ->
-      List.iteri (fun i a -> walk_expr (Printf.sprintf "%sf%d" path i) a) args
+      List.iteri (fun i a -> walk_expr clause (Printf.sprintf "%sf%d" path i) a) args
     | Case (branches, default) ->
       List.iteri
         (fun i (c, v) ->
-          walk_expr (Printf.sprintf "%sc%d" path i) c;
-          walk_expr (Printf.sprintf "%sv%d" path i) v)
+          walk_expr clause (Printf.sprintf "%sc%d" path i) c;
+          walk_expr clause (Printf.sprintf "%sv%d" path i) v)
         branches;
-      Option.iter (walk_expr (path ^ "d")) default
-  and walk_select path (s : select) =
+      Option.iter (walk_expr clause (path ^ "d")) default
+  (* [fixed] is [Some c] beneath a subquery or UNION branch: every literal
+     there belongs to clause [c] of the top-level query. *)
+  and walk_select fixed path (s : select) =
+    let cl c = match fixed with Some c' -> c' | None -> c in
     List.iteri
       (fun i -> function
-        | Sel_expr (e, _) -> walk_expr (Printf.sprintf "%s.i%d" path i) e
+        | Sel_expr (e, _) ->
+          walk_expr (cl (Clause_item i)) (Printf.sprintf "%s.i%d" path i) e
         | Star | Table_star _ -> ())
       s.items;
     List.iteri
       (fun i -> function
-        | From_subquery { query; _ } -> walk_query (Printf.sprintf "%s.f%d" path i) query
+        | From_subquery { query; _ } ->
+          walk_query
+            (Some (cl (Clause_from i)))
+            (Printf.sprintf "%s.f%d" path i) query
         | From_table _ -> ())
       s.from;
-    Option.iter (walk_expr (path ^ ".w")) s.where;
-    List.iteri (fun i e -> walk_expr (Printf.sprintf "%s.g%d" path i) e) s.group_by;
-    Option.iter (walk_expr (path ^ ".h")) s.having;
-    List.iteri (fun i (e, _) -> walk_expr (Printf.sprintf "%s.o%d" path i) e) s.order_by
-  and walk_query path = function
-    | Select s -> walk_select path s
+    Option.iter (walk_expr (cl Clause_where) (path ^ ".w")) s.where;
+    List.iteri
+      (fun i e -> walk_expr (cl (Clause_group_by i)) (Printf.sprintf "%s.g%d" path i) e)
+      s.group_by;
+    Option.iter (walk_expr (cl Clause_having) (path ^ ".h")) s.having;
+    List.iteri
+      (fun i (e, _) ->
+        walk_expr (cl (Clause_order_by i)) (Printf.sprintf "%s.o%d" path i) e)
+      s.order_by
+  and walk_query fixed path = function
+    | Select s -> walk_select fixed path s
     | Union { left; right; _ } ->
-      walk_query (path ^ "L") left;
-      walk_query (path ^ "R") right
+      let fixed = match fixed with Some _ -> fixed | None -> Some Clause_union in
+      walk_query fixed (path ^ "L") left;
+      walk_query fixed (path ^ "R") right
   in
-  walk_query "q" q;
+  walk_query None "q" q;
   List.rev !out
+
+(* Replace every literal with [placeholder] in one pass: the query's
+   shape. Two policies are instances of the same template iff their
+   masked queries are structurally equal. *)
+let mask_literals ?(placeholder = Value.Null) (q : query) : query =
+  let me = map_expr (function Lit _ -> Lit placeholder | e -> e) in
+  let rec mq = function
+    | Select s -> Select (ms s)
+    | Union { all; left; right } -> Union { all; left = mq left; right = mq right }
+  and ms (s : select) =
+    {
+      s with
+      items =
+        List.map
+          (function Sel_expr (e, a) -> Sel_expr (me e, a) | it -> it)
+          s.items;
+      from =
+        List.map
+          (function
+            | From_subquery { query; alias } ->
+              From_subquery { query = mq query; alias }
+            | fi -> fi)
+          s.from;
+      where = Option.map me s.where;
+      group_by = List.map me s.group_by;
+      having = Option.map me s.having;
+      order_by = List.map (fun (e, d) -> (me e, d)) s.order_by;
+    }
+  in
+  mq q
 
 (* Replace the literal at syntactic position [path] using [f]. *)
 let query_map_literal (q : query) ~(path : string) ~(f : Value.t -> expr) : query =

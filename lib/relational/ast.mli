@@ -107,8 +107,25 @@ val equal_expr : expr -> expr -> bool
 
 val equal_query : query -> query -> bool
 
-(** A literal occurrence: its stable syntactic position and value. *)
-type lit_site = { path : string; value : Value.t }
+(** Clause of the top-level query a literal syntactically falls under.
+    Literals inside FROM subqueries or UNION branches report the
+    enclosing clause, not their local one. *)
+type lit_clause =
+  | Clause_item of int  (** [i]-th select item of the top-level SELECT *)
+  | Clause_from of int  (** inside the [i]-th FROM subquery *)
+  | Clause_where
+  | Clause_group_by of int
+  | Clause_having
+  | Clause_order_by of int
+  | Clause_union  (** inside a UNION branch *)
+
+(** A literal occurrence: its stable syntactic position, enclosing
+    clause, and value. *)
+type lit_site = { path : string; clause : lit_clause; value : Value.t }
+
+(** Whether the literal sits in a select item of the top-level SELECT —
+    the position policy messages are projected from. *)
+val is_message_site : lit_site -> bool
 
 (** Every literal in the query, in a deterministic order. Drives policy
     unification's shape comparison. *)
@@ -116,3 +133,8 @@ val query_literals : query -> lit_site list
 
 (** Replace the literal at position [path] with [f old_value]. *)
 val query_map_literal : query -> path:string -> f:(Value.t -> expr) -> query
+
+(** Replace every literal with [placeholder] (default [Value.Null]) in a
+    single pass: the query's template shape. Structural equality of
+    masked queries groups policies into template families. *)
+val mask_literals : ?placeholder:Value.t -> query -> query

@@ -385,12 +385,68 @@ let compile_finish (f : Plan.finish) : arow list -> arow list =
     in
     List.map fst outputs
 
-let rec compile (cat : Catalog.t) (opts : opts) (q : Plan.query) : t =
+(* One scan closure per access path. Key/bound expressions compile once,
+   here; probes and bound evaluation happen per execution. Shared between
+   the [Plan.Scan] and [Plan.Shared] slot arms so the two sources read
+   tables identically. *)
+let access_scan (table : Table.t) (tname : string) (annotate : Row.t -> arow)
+    (access : Plan.access) : unit -> arow list =
+  match access with
+  | Plan.Heap ->
+    fun () ->
+      let rows = Table.fold (fun acc row -> annotate row :: acc) [] table in
+      List.rev rows
+  | Plan.Delta ->
+    (* The watermark is read per execution, not captured: the same
+       compiled plan keeps scanning the current delta as the engine
+       advances [Table.delta_base]. *)
+    fun () ->
+      let rows =
+        Table.fold_delta (fun acc row -> annotate row :: acc) [] table
+      in
+      List.rev rows
+  | Plan.Index_eq { index; key } ->
+    let ix =
+      match Table.find_index table index with
+      | Some ix -> ix
+      | None -> Errors.catalog_error "no index %s on table %s" index tname
+    in
+    let ckey = compile_expr key in
+    fun () ->
+      Atomic.incr index_probes;
+      let v = ckey [||] [||] in
+      (* [col = NULL] matches nothing. *)
+      if Value.is_null v then []
+      else List.map annotate (Table.index_lookup table ix v)
+  | Plan.Index_range { index; lo; hi } ->
+    let ix =
+      match Table.find_index table index with
+      | Some ix -> ix
+      | None -> Errors.catalog_error "no index %s on table %s" index tname
+    in
+    let cbound = Option.map (fun (p, incl) -> (compile_expr p, incl)) in
+    let clo = cbound lo and chi = cbound hi in
+    fun () ->
+      Atomic.incr index_probes;
+      let eval = Option.map (fun (c, incl) -> (c [||] [||], incl)) in
+      let lo = eval clo and hi = eval chi in
+      (* A NULL bound makes the comparison false for every row. *)
+      let null_bound =
+        match lo, hi with
+        | Some (v, _), _ when Value.is_null v -> true
+        | _, Some (v, _) when Value.is_null v -> true
+        | _ -> false
+      in
+      if null_bound then []
+      else List.map annotate (Table.index_range table ix ?lo ?hi ())
+
+let rec compile_q (cat : Catalog.t) (shared : arow list Shared_cache.t option)
+    (opts : opts) (q : Plan.query) : t =
   match q with
-  | Plan.Select sp -> compile_select cat opts sp
+  | Plan.Select sp -> compile_select cat shared opts sp
   | Plan.Union { all; left; right } ->
-    let l = compile cat opts left in
-    let r = compile cat opts right in
+    let l = compile_q cat shared opts left in
+    let r = compile_q cat shared opts right in
     let exec () =
       let lrows = l.exec () in
       let rrows = r.exec () in
@@ -420,85 +476,58 @@ let rec compile (cat : Catalog.t) (opts : opts) (q : Plan.query) : t =
     in
     { cols = l.cols; exec }
 
-and compile_select (cat : Catalog.t) (opts : opts) (sp : Plan.select_plan) : t =
+and compile_select (cat : Catalog.t) (shared : arow list Shared_cache.t option)
+    (opts : opts) (sp : Plan.select_plan) : t =
   let nslots = Array.length sp.Plan.slots in
-  (* Scan closures capture table handles and provenance configuration. *)
+  (* Scan closures capture table handles and provenance configuration.
+     All access paths annotate identically: index probes return rows in
+     tid order, which is heap scan order, so lineage and source tids are
+     bit-for-bit those of the heap path. *)
+  let annotate_for idx tname =
+    fun row ->
+      let lin =
+        if opts.lineage then Lineage.singleton tname (Row.tid row)
+        else Lineage.off
+      in
+      let src = if opts.track_src then [ (idx, Row.tid row) ] else [] in
+      { vals = Row.cells row; lin; src }
+  in
   let scan =
     Array.mapi
       (fun idx (slot : Plan.slot) ->
         match slot.Plan.source with
-        | Plan.Scan (name, access) -> (
+        | Plan.Scan (name, access) ->
           let table = Catalog.find cat name in
           let tname = Table.name table in
-          (* All access paths annotate identically: index probes return
-             rows in tid order, which is heap scan order, so lineage and
-             source tids are bit-for-bit those of the heap path. *)
-          let annotate row =
-            let lin =
-              if opts.lineage then Lineage.singleton tname (Row.tid row)
-              else Lineage.off
-            in
-            let src = if opts.track_src then [ (idx, Row.tid row) ] else [] in
-            { vals = Row.cells row; lin; src }
+          access_scan table tname (annotate_for idx tname) access
+        | Plan.Shared { tag; table = name; access; preds } -> (
+          let table = Catalog.find cat name in
+          let tname = Table.name table in
+          let raw = access_scan table tname (annotate_for idx tname) access in
+          let cpreds = List.map compile_expr preds in
+          (* The absorbed conjuncts filter in one pass per conjunct, the
+             order [scan_preds] would have used. *)
+          let materialize () =
+            List.fold_left
+              (fun rows c ->
+                List.filter (fun (r : arow) -> Value.to_bool (c r.vals [||])) rows)
+              (raw ()) cpreds
           in
-          match access with
-          | Plan.Heap ->
+          match shared with
+          | Some cache when (not opts.lineage) && not opts.track_src ->
+            (* Provenance annotations are slot-index-specific, so only
+               bare rows may be shared across plans. Generation and
+               table version are read per execution: any mutation since
+               materialization forces a fresh scan. *)
             fun () ->
-              let rows =
-                Table.fold (fun acc row -> annotate row :: acc) [] table
-              in
-              List.rev rows
-          | Plan.Delta ->
-            (* The watermark is read per execution, not captured: the
-               same compiled plan keeps scanning the current delta as
-               the engine advances [Table.delta_base]. *)
-            fun () ->
-              let rows =
-                Table.fold_delta (fun acc row -> annotate row :: acc) [] table
-              in
-              List.rev rows
-          | Plan.Index_eq { index; key } ->
-            let ix =
-              match Table.find_index table index with
-              | Some ix -> ix
-              | None ->
-                Errors.catalog_error "no index %s on table %s" index tname
-            in
-            let ckey = compile_expr key in
-            fun () ->
-              Atomic.incr index_probes;
-              let v = ckey [||] [||] in
-              (* [col = NULL] matches nothing. *)
-              if Value.is_null v then []
-              else List.map annotate (Table.index_lookup table ix v)
-          | Plan.Index_range { index; lo; hi } ->
-            let ix =
-              match Table.find_index table index with
-              | Some ix -> ix
-              | None ->
-                Errors.catalog_error "no index %s on table %s" index tname
-            in
-            let cbound =
-              Option.map (fun (p, incl) -> (compile_expr p, incl))
-            in
-            let clo = cbound lo and chi = cbound hi in
-            fun () ->
-              Atomic.incr index_probes;
-              let eval = Option.map (fun (c, incl) -> (c [||] [||], incl)) in
-              let lo = eval clo and hi = eval chi in
-              (* A NULL bound makes the comparison false for every row. *)
-              let null_bound =
-                match lo, hi with
-                | Some (v, _), _ when Value.is_null v -> true
-                | _, Some (v, _) when Value.is_null v -> true
-                | _ -> false
-              in
-              if null_bound then []
-              else List.map annotate (Table.index_range table ix ?lo ?hi ()))
+              Shared_cache.find_or_compute cache
+                ~gen:(Catalog.generation cat)
+                ~ver:(Table.ver_mut table) ~tag materialize
+          | _ -> materialize)
         | Plan.Sub q ->
           (* Lineage flows through subqueries; source tids do not
              (witness queries are always built over flat FROM lists). *)
-          (compile cat { opts with track_src = false } q).exec)
+          (compile_q cat shared { opts with track_src = false } q).exec)
       sp.Plan.slots
   in
   let scan_preds = Array.map (List.map compile_expr) sp.Plan.scan_preds in
@@ -612,3 +641,6 @@ and compile_select (cat : Catalog.t) (opts : opts) (sp : Plan.select_plan) : t =
     end
   in
   { cols; exec }
+
+let compile (cat : Catalog.t) ?shared (opts : opts) (q : Plan.query) : t =
+  compile_q cat shared opts q

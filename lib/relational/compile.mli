@@ -32,6 +32,14 @@ val compile_expr : Plan.pexpr -> cexpr
 
 type t = { cols : string array; exec : unit -> arow list }
 
-(** Compile a bound plan against the catalog.
+(** Compile a bound plan against the catalog. When [shared] is given,
+    {!Plan.Shared} slots materialize through it — the first plan of an
+    admission to execute a given scan-plus-filter prefix fills the cache
+    and every other plan reuses the rows — but only under the default
+    provenance options (lineage and source-tid annotations are
+    slot-specific and never shared). Without [shared], or with
+    provenance on, [Plan.Shared] compiles to a plain scan plus filter
+    passes, indistinguishable from [Plan.Scan].
     @raise Errors.Sql_error if a scanned table has been dropped. *)
-val compile : Catalog.t -> opts -> Plan.query -> t
+val compile :
+  Catalog.t -> ?shared:arow list Shared_cache.t -> opts -> Plan.query -> t

@@ -24,8 +24,16 @@ type result = { columns : string list; out_rows : row_out list }
 
 type compiled = Compile.t
 
-let prepare ?(opts = default_opts) (cat : Catalog.t) (q : Ast.query) : compiled =
-  Compile.compile cat opts (Optimizer.optimize cat (Plan.of_query cat q))
+let prepare ?(opts = default_opts) ?shared (cat : Catalog.t) (q : Ast.query) :
+    compiled =
+  let plan = Optimizer.optimize cat (Plan.of_query cat q) in
+  (* Sharing rides on a cache being supplied: the rewrite is pointless
+     without one (a Shared slot then compiles to a plain scan), and
+     leaving the plan untouched keeps the default path byte-identical. *)
+  let plan =
+    match shared with None -> plan | Some _ -> Optimizer.share_scans plan
+  in
+  Compile.compile cat ?shared opts plan
 
 let prepare_unoptimized ?(opts = default_opts) (cat : Catalog.t) (q : Ast.query)
     : compiled =

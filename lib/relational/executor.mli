@@ -30,9 +30,19 @@ type result = { columns : string list; out_rows : row_out list }
     catalog's shape changes (see {!Catalog.generation}). *)
 type compiled = Compile.t
 
-(** Bind, optimize and compile a query.
+(** Bind, optimize and compile a query. With [shared], base-table scans
+    (plus their pushed-down filters) become {!Plan.Shared}
+    materialization points served through the given cache, so identical
+    scan prefixes across the prepared plans of different queries
+    materialize once per table version (see {!Optimizer.share_scans};
+    provenance-annotated runs bypass the cache).
     @raise Errors.Sql_error on binding failures. *)
-val prepare : ?opts:opts -> Catalog.t -> Ast.query -> compiled
+val prepare :
+  ?opts:opts ->
+  ?shared:Compile.arow list Shared_cache.t ->
+  Catalog.t ->
+  Ast.query ->
+  compiled
 
 (** Like {!prepare} but skipping the optimizer: the naive reference path
     used by differential tests. *)

@@ -271,6 +271,54 @@ type delta_plans = {
   variants : Plan.query list;
 }
 
+(* Shared-scan factoring ----------------------------------------------------- *)
+
+(* Structural identity of a scan-plus-filter prefix. Two slots — in the
+   same plan or across the plans of different policies — that read the
+   same table by the same access path under the same pushed-down
+   conjuncts get the same tag, which is exactly the collision that lets
+   one materialization serve all of them. The materialization is
+   full-width (projection pruning applies at join time), so [keep] does
+   not participate. *)
+let share_tag (table : string) (access : Plan.access) (preds : Plan.pexpr list)
+    : string =
+  Digest.to_hex (Digest.string (Marshal.to_string (table, access, preds) []))
+
+(* Turn every base-table scan slot into a {!Plan.Shared} materialization
+   point, absorbing the slot's pushed-down conjuncts into the node.
+   Delta scans are excluded: they read the watermark at execution time
+   and are already tiny. Subquery slots keep their own plans untouched —
+   their scans stay private (their layouts are plan-specific anyway).
+   Run after {!optimize}, which is what fills [scan_preds] and picks the
+   access path being tagged. *)
+let share_scans (q : Plan.query) : Plan.query =
+  let share_select (sp : Plan.select_plan) : Plan.select_plan =
+    let scan_preds = Array.copy sp.Plan.scan_preds in
+    let slots =
+      Array.mapi
+        (fun si (sl : Plan.slot) ->
+          match sl.Plan.source with
+          | Plan.Scan (_, Plan.Delta) | Plan.Sub _ -> sl
+          | Plan.Scan (table, access) ->
+            let preds = scan_preds.(si) in
+            scan_preds.(si) <- [];
+            {
+              sl with
+              Plan.source =
+                Plan.Shared { tag = share_tag table access preds; table; access; preds };
+            }
+          | Plan.Shared _ -> sl)
+        sp.Plan.slots
+    in
+    { sp with Plan.slots; scan_preds }
+  in
+  let rec walk = function
+    | Plan.Select sp -> Plan.Select (share_select sp)
+    | Plan.Union { all; left; right } ->
+      Plan.Union { all; left = walk left; right = walk right }
+  in
+  walk q
+
 let rec optimize (cat : Catalog.t) (q : Plan.query) : Plan.query =
   match q with
   | Plan.Union { all; left; right } ->
@@ -282,7 +330,7 @@ and optimize_select (cat : Catalog.t) (sp : Plan.select_plan) : Plan.select_plan
     Array.map
       (fun (sl : Plan.slot) ->
         match sl.Plan.source with
-        | Plan.Scan _ -> sl
+        | Plan.Scan _ | Plan.Shared _ -> sl
         | Plan.Sub q -> { sl with Plan.source = Plan.Sub (optimize cat q) })
       sp.Plan.slots
   in
@@ -409,18 +457,24 @@ and optimize_select (cat : Catalog.t) (sp : Plan.select_plan) : Plan.select_plan
 (* Delta derivation --------------------------------------------------------- *)
 
 (* A query is delta-eligible when it is a single select-project-join over
-   base-table scans whose every projection is a literal (the policy's
-   violation message), with no aggregation, ordering or limit, and no
-   scan of the clock relation (whose single row is rewritten in place
-   each submission, outside the append-only delta discipline). For such
-   a query Q and disjoint states S (proved empty) and Δ (appended rows),
-   monotonicity gives
+   base-table scans, with no aggregation, ordering, limit or DISTINCT ON,
+   and no scan of the clock relation (whose single row is rewritten in
+   place each submission, outside the append-only delta discipline). For
+   such a query Q and disjoint states S (proved empty) and Δ (appended
+   rows), monotonicity gives
 
      Q(S ∪ Δ) = ⋃ over log slots i of Q with slot i restricted to Δ
 
    — any result row must bind at least one slot to a Δ tuple, and the
-   per-slot variants cover every such binding. Each variant is optimized
-   independently, so its non-delta slots still get index probes. *)
+   per-slot variants cover every such binding, so the union equals the
+   full result as a set. Projections need not be literal: a unified
+   policy projects its members' messages from the constants table, and
+   those surface unchanged in whichever variant binds the row. (Only
+   multiplicities can differ between the union and the full result,
+   which is why DISTINCT ON — whose representative choice is
+   order-sensitive — is excluded; the engine reads results as sets.)
+   Each variant is optimized independently, so its non-delta slots still
+   get index probes. *)
 let derive_delta (cat : Catalog.t) ~(is_log : string -> bool)
     ~(clock_rel : string) (q : Ast.query) : delta_plans option =
   match Plan.of_query cat q with
@@ -434,7 +488,7 @@ let derive_delta (cat : Catalog.t) ~(is_log : string -> bool)
       Array.map
         (fun (sl : Plan.slot) ->
           match sl.Plan.source with
-          | Plan.Scan (name, _) ->
+          | Plan.Scan (name, _) | Plan.Shared { table = name; _ } ->
             Option.map Table.name (Catalog.find_opt cat name)
           | Plan.Sub _ -> None)
         sp.Plan.slots
@@ -450,7 +504,7 @@ let derive_delta (cat : Catalog.t) ~(is_log : string -> bool)
       && f.Plan.order_by = []
       && f.Plan.limit = None
       && f.Plan.projs <> []
-      && List.for_all is_const f.Plan.projs
+      && (match f.Plan.distinct with Plan.D_on _ -> false | _ -> true)
     in
     if not eligible then None
     else begin

@@ -10,6 +10,16 @@
 
 val optimize : Catalog.t -> Plan.query -> Plan.query
 
+(** Rewrite every base-table scan slot into a {!Plan.Shared}
+    materialization point, absorbing the slot's pushed-down conjuncts
+    into the node and tagging it with a digest of (table, access,
+    conjuncts) — so identical scan-plus-filter prefixes across the plans
+    of different policies share one materialization when compiled
+    against a {!Shared_cache}. Delta scans and subquery slots are left
+    alone. Apply after {!optimize}; without a cache the rewritten plan
+    compiles to exactly the same behaviour. *)
+val share_scans : Plan.query -> Plan.query
+
 (** Result of {!derive_delta}: the base tables the query reads (canonical
     name, is-it-a-log-relation — the incremental engine snapshots their
     version counters to validate its emptiness proof) and one optimized
@@ -23,9 +33,11 @@ type delta_plans = {
 (** Delta-plan derivation for incremental policy evaluation. Returns
     [None] unless the query is delta-eligible: a single
     select-project-join over base-table scans (no UNION, no subqueries),
-    no aggregation / ORDER BY / LIMIT, every projection a literal (so a
-    non-empty result carries the same constant message regardless of
-    which variant produced it), and no scan of [clock_rel]. For an
+    no aggregation / ORDER BY / LIMIT / DISTINCT ON, and no scan of
+    [clock_rel]. Projections may be arbitrary (a unified policy projects
+    member messages from its constants table); the variant union equals
+    the full result as a set, so callers must read it with set
+    semantics. For an
     eligible query proved empty over the pre-delta state, the union of
     the returned variants equals the query over the grown state — see
     the soundness argument in the implementation. *)

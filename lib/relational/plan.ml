@@ -58,6 +58,22 @@ type access =
 type source =
   | Scan of string * access  (** base table, by catalog name *)
   | Sub of query
+  | Shared of {
+      tag : string;
+          (** digest of (table, access, preds): identical shared prefixes
+              across plans collide on purpose, which is what lets one
+              materialization fan out to every policy of an admission *)
+      table : string;
+      access : access;
+      preds : pexpr list;
+          (** the slot-local pushed-down conjuncts, absorbed into the
+              materialization point (the slot's [scan_preds] are emptied
+              when the optimizer introduces the node) *)
+    }
+      (** compile-time materialization point for a scan-plus-filter prefix
+          shared by several plans ({!Optimizer.share_scans}); compiled
+          without a cache it behaves exactly like [Scan] with the preds as
+          scan predicates *)
 
 and slot = {
   alias : string;  (** lowercased effective alias *)

@@ -49,6 +49,16 @@ type access =
 type source =
   | Scan of string * access  (** base table, by catalog name *)
   | Sub of query
+  | Shared of {
+      tag : string;  (** digest of (table, access, preds) *)
+      table : string;
+      access : access;
+      preds : pexpr list;  (** slot-local conjuncts absorbed from [scan_preds] *)
+    }
+      (** compile-time materialization point for a scan-plus-filter prefix
+          shared by several plans ({!Optimizer.share_scans}); compiled
+          without a cache it behaves exactly like [Scan] with the preds as
+          scan predicates *)
 
 and slot = {
   alias : string;  (** lowercased effective alias *)

@@ -252,32 +252,38 @@ let update_where t pred f =
 
 (* Savepoints ------------------------------------------------------------- *)
 
-type savepoint = int
+(* The tid counter is captured too: rolling back then restores it, so
+   the tids a table hands out don't depend on how many tentative rows
+   were appended and discarded along the way. (Deletions are blocked
+   while a savepoint is outstanding, so no discarded tid can have
+   leaked into provenance or an index.) *)
+type savepoint = { sp_pos : int; sp_tid : int }
 
 let savepoint t : savepoint =
   t.in_txn <- true;
-  Vec.length t.rows
+  { sp_pos = Vec.length t.rows; sp_tid = t.next_tid }
 
 let rollback_to t (sp : savepoint) =
   guard_frozen t "rollback_to";
   t.in_txn <- false;
   t.ver_mut <- t.ver_mut + 1;
   if t.indexes <> [] then
-    for i = Vec.length t.rows - 1 downto sp do
+    for i = Vec.length t.rows - 1 downto sp.sp_pos do
       index_remove t (Vec.get t.rows i)
     done;
-  Vec.truncate t.rows sp
+  Vec.truncate t.rows sp.sp_pos;
+  t.next_tid <- sp.sp_tid
 
 let release t (_sp : savepoint) = t.in_txn <- false
 
 let iter_since f t (sp : savepoint) =
-  for i = sp to Vec.length t.rows - 1 do
+  for i = sp.sp_pos to Vec.length t.rows - 1 do
     f (Vec.get t.rows i)
   done
 
 let fold_since f init t (sp : savepoint) =
   let acc = ref init in
-  for i = sp to Vec.length t.rows - 1 do
+  for i = sp.sp_pos to Vec.length t.rows - 1 do
     acc := f !acc (Vec.get t.rows i)
   done;
   !acc

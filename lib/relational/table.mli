@@ -122,7 +122,9 @@ type savepoint
     are allowed. *)
 val savepoint : t -> savepoint
 
-(** Truncate back to the savepoint, discarding rows appended since. *)
+(** Truncate back to the savepoint, discarding rows appended since.
+    Also restores the tid counter to its savepoint value, so the tids a
+    table hands out are independent of discarded tentative appends. *)
 val rollback_to : t -> savepoint -> unit
 
 (** Keep the rows appended since the savepoint and close it. *)

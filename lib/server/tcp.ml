@@ -82,6 +82,9 @@ let stats t =
     | None -> (0, 0)
     | Some s -> (Persistence.Store.fsyncs s, Persistence.Store.wal_records s)
   in
+  let u = Engine.unify_stats t.engine in
+  let r = Engine.relevance_stats t.engine in
+  let shared_hits, shared_misses = Engine.shared_scan_stats t.engine in
   let i = string_of_int in
   [
     ("sessions-total", i total);
@@ -97,6 +100,16 @@ let stats t =
     ("batch-retried", i b.Engine.retried_batches);
     ("batch-serial", i b.Engine.serial_batches);
     ("snapshot-age", i a.Admission.s_snapshot_age);
+    ("unify-registered", i u.Engine.unify_registered);
+    ("unify-active", i u.Engine.unify_active);
+    ("unify-groups", i u.Engine.unify_groups);
+    ("unify-members", i u.Engine.unify_members);
+    ("relevance-indexed", i r.Engine.rel_indexed);
+    ("relevance-eligible", i r.Engine.rel_eligible);
+    ("relevance-checks", i r.Engine.rel_checks);
+    ("relevance-skips", i r.Engine.rel_skips);
+    ("shared-scan-hits", i shared_hits);
+    ("shared-scan-misses", i shared_misses);
     ("group-commit-fsyncs", i fsyncs);
     ("wal-records", i wal);
   ]

@@ -263,13 +263,18 @@ let prop_delta_full_identical =
    atom that makes them delta-ineligible); these pins turn it off so the
    simple SPJ templates stay in delta's jurisdiction. *)
 (* [delta] is pinned on (not inherited from DL_DELTA): these cases test
-   the delta machinery itself and must assert under either env value. *)
+   the delta machinery itself and must assert under either env value.
+   The relevance index is pinned off: it proves these simple templates
+   unaffected before the delta path would even run, and the pins are
+   about the delta path (test_unify_scale pins the index's own
+   behavior). *)
 let ti_off =
   {
     Engine.default_config with
     Engine.domains = 1;
     time_independent = false;
     delta = true;
+    relevance = false;
   }
 
 let make_engine ?(config = ti_off) () =

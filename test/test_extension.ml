@@ -200,7 +200,12 @@ let test_templates_unify () =
   ignore
     (Database.exec_script db
        "CREATE TABLE members (uid INT, gid TEXT); INSERT INTO members VALUES (1, 'g0')");
-  let e = Engine.create db in
+  (* pinned on, not inherited: the case must assert under DL_UNIFY=0 *)
+  let e =
+    Engine.create
+      ~config:{ Engine.default_config with Engine.unification = true }
+      db
+  in
   for k = 0 to 9 do
     ignore
       (Engine.add_policy e

@@ -24,6 +24,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("parallel_diff", Test_parallel_diff.suite);
       ("delta_diff", Test_delta_diff.suite);
+      ("unify_scale", Test_unify_scale.suite);
       ("server", Test_server.suite);
       ("properties", Test_props.suite);
     ]

@@ -24,14 +24,16 @@ let test_unifies_family () =
   Alcotest.(check int) "one group" 1 (List.length o.Unify.groups);
   let g = List.hd o.Unify.groups in
   Alcotest.(check int) "five members" 5 (List.length g.Unify.members);
-  (* constants table materialized with the five distinct constants *)
-  let consts = Database.rows db (Printf.sprintf "SELECT const FROM %s" g.Unify.constants_table) in
-  Alcotest.(check int) "five constants" 5 (List.length consts);
-  (* unified query joins the constants table and groups by it *)
+  (* constants table materialized with one row per member: the message and
+     the dept constant both differ, giving two columns *)
+  let table = Option.get g.Unify.constants_table in
+  let consts = Database.rows db (Printf.sprintf "SELECT c0, c1 FROM %s" table) in
+  Alcotest.(check int) "five constant rows" 5 (List.length consts);
+  (* unified query joins the constants table and groups by the constants *)
   let sql = Sql_print.query g.Unify.policy.Policy.query in
   Alcotest.(check bool) "joins constants table" true
-    (Test_policy.contains_substring sql g.Unify.constants_table);
-  Alcotest.(check bool) "groups by the constant" true
+    (Test_policy.contains_substring sql table);
+  Alcotest.(check bool) "groups by the constants" true
     (Test_policy.contains_substring sql "GROUP BY")
 
 let test_does_not_unify_different_shapes () =
@@ -45,7 +47,9 @@ let test_does_not_unify_different_shapes () =
   Alcotest.(check int) "no unification" 2 (List.length o.Unify.policies);
   Alcotest.(check int) "no groups" 0 (List.length o.Unify.groups)
 
-let test_does_not_unify_two_differing_literals () =
+(* n-way unification lifts every differing position, including HAVING
+   thresholds, into the constants table. *)
+let test_unifies_two_differing_literals () =
   let db, e, is_log = setup () in
   let mk k thr =
     Engine.add_policy e
@@ -57,9 +61,43 @@ let test_does_not_unify_two_differing_literals () =
   in
   let p1 = mk 1 2 and p2 = mk 2 5 in
   let o = Unify.run (Database.catalog db) ~is_log [ p1; p2 ] in
-  Alcotest.(check int) "left alone" 2 (List.length o.Unify.policies)
+  Alcotest.(check int) "unified" 1 (List.length o.Unify.policies);
+  let g = List.hd o.Unify.groups in
+  let table = Option.get g.Unify.constants_table in
+  let consts = Database.rows db (Printf.sprintf "SELECT c0, c1 FROM %s" table) in
+  Alcotest.(check int) "two constant rows" 2 (List.length consts)
 
-(* Semantic equivalence: the unified policy fires iff some member fires. *)
+(* Differing types at one position block unification. *)
+let test_does_not_unify_mismatched_types () =
+  let db, e, is_log = setup () in
+  let p1 =
+    Engine.add_policy e ~name:"ty1"
+      "SELECT DISTINCT 'v' FROM users u WHERE u.uid = 9"
+  and p2 =
+    Engine.add_policy e ~name:"ty2"
+      "SELECT DISTINCT 'v' FROM users u WHERE u.uid = 'nine'"
+  in
+  let o = Unify.run (Database.catalog db) ~is_log [ p1; p2 ] in
+  Alcotest.(check int) "left alone" 2 (List.length o.Unify.policies);
+  Alcotest.(check int) "no groups" 0 (List.length o.Unify.groups)
+
+(* Exact duplicates collapse without a constants table. *)
+let test_unifies_exact_duplicates () =
+  let db, e, is_log = setup () in
+  let mk k =
+    Engine.add_policy e
+      ~name:(Printf.sprintf "dup%d" k)
+      "SELECT DISTINCT 'dup violated' FROM users u WHERE u.uid = 7"
+  in
+  let ps = List.init 3 mk in
+  let o = Unify.run (Database.catalog db) ~is_log ps in
+  Alcotest.(check int) "one policy" 1 (List.length o.Unify.policies);
+  let g = List.hd o.Unify.groups in
+  Alcotest.(check bool) "no constants table" true (g.Unify.constants_table = None);
+  Alcotest.(check int) "three members" 3 (List.length g.Unify.members)
+
+(* Semantic equivalence: the unified policy fires iff some member fires,
+   and projects exactly the messages of the firing members. *)
 let test_unified_equivalence_randomized () =
   let rng = Mimic.Rng.create ~seed:23 in
   for _trial = 1 to 20 do
@@ -82,14 +120,30 @@ let test_unified_equivalence_randomized () =
       if Mimic.Rng.bool rng then
         ignore (Table.insert users [| i ts; i (1 + Mimic.Rng.int rng 5) |])
     done;
-    let fires q = not (Executor.is_empty (Database.catalog db) q) in
-    let member_fires = List.exists (fun p -> fires p.Policy.query) members in
-    Alcotest.(check bool) "unified ≡ disjunction of members" member_fires
-      (fires unified.Policy.query)
+    let messages q =
+      let r = Database.query_ast db q in
+      List.filter_map
+        (fun row ->
+          match row.Executor.values with
+          | [| Value.Str m |] -> Some m
+          | _ -> None)
+        r.Executor.out_rows
+      |> List.sort_uniq compare
+    in
+    let member_msgs =
+      List.concat_map (fun p -> messages p.Policy.query) members
+      |> List.sort_uniq compare
+    in
+    Alcotest.(check (list string)) "unified messages ≡ union of member messages"
+      member_msgs
+      (messages unified.Policy.query)
   done
 
 let test_engine_uses_unification () =
-  let _, e, _ = setup () in
+  let db = sample_db () in
+  let e =
+    Engine.create ~config:{ Engine.default_config with unification = true } db
+  in
   let _ = List.init 4 (family_member e) in
   let pl = Engine.plan e in
   Alcotest.(check int) "plan collapses family to one" 1 (List.length pl.Engine.active);
@@ -99,7 +153,9 @@ let suite =
   [
     tc "unifies a parameter family" test_unifies_family;
     tc "different shapes untouched" test_does_not_unify_different_shapes;
-    tc "two differing literals untouched" test_does_not_unify_two_differing_literals;
+    tc "two differing literals unify n-way" test_unifies_two_differing_literals;
+    tc "mismatched types untouched" test_does_not_unify_mismatched_types;
+    tc "exact duplicates collapse" test_unifies_exact_duplicates;
     Alcotest.test_case "unified equivalence (randomized)" `Slow
       test_unified_equivalence_randomized;
     tc "engine plan uses unification" test_engine_uses_unification;
