@@ -109,7 +109,8 @@ let repl_help =
   :drop NAME            remove a policy
   :log                  show usage-log sizes (and on-disk state)
   :stats                show index, plan-cache, delta-eval, unification,
-                        relevance-index and shared-scan statistics
+                        relevance-index, shared-scan and vectorized-executor
+                        statistics
   :checkpoint           force a persistence checkpoint
   :tables               list tables
   :load TABLE FILE.csv  import a CSV file (creates the table if needed)
@@ -223,6 +224,19 @@ let run_repl noopt no_policies domains delta persist_dir persist_fsync serve
               else
                 Printf.sprintf " (%.1f%% hit rate)"
                   (100. *. float_of_int sh /. float_of_int stot));
+           let v = Engine.vector_stats engine in
+           Printf.printf
+             "  vectorized: %s, %d batches, %d rows, %d row-path fallbacks\n"
+             (if v.Engine.vec_enabled then "on" else "off")
+             v.Engine.vec_batches v.Engine.vec_rows v.Engine.vec_fallbacks;
+           (if v.Engine.vec_batches > 0 then
+              let labels = [| "<16"; "<256"; "<4k"; "<64k"; ">=64k" |] in
+              Printf.printf "  rows per batch: %s\n"
+                (String.concat ", "
+                   (Array.to_list
+                      (Array.mapi
+                         (fun k n -> Printf.sprintf "%s: %d" labels.(k) n)
+                         v.Engine.vec_hist))));
            let b = Engine.batch_stats engine in
            Printf.printf
              "  admission batches: %d fast, %d retried, %d serial (%d batched \

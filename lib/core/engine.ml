@@ -30,6 +30,7 @@ type config = {
   delta : bool;
   relevance : bool;
   shared_scans : bool;
+  vectorized : bool;
 }
 
 (* Default evaluation parallelism: the DL_DOMAINS environment variable
@@ -59,6 +60,14 @@ let default_unify =
   | Some s -> String.trim s <> "0"
   | None -> true
 
+(* The vectorized (batch-at-a-time) executor defaults on; DL_VECTOR=0
+   pins the row-at-a-time path (CI runs the suite both ways — results
+   are bit-identical, only the operator implementation differs). *)
+let default_vector =
+  match Sys.getenv_opt "DL_VECTOR" with
+  | Some s -> String.trim s <> "0"
+  | None -> true
+
 (* The NoOpt baseline (Algorithm 1): generate the logs the policies
    mention, evaluate the union of all policies, never compact. *)
 let noopt_config =
@@ -73,6 +82,7 @@ let noopt_config =
     delta = default_delta;
     relevance = false;
     shared_scans = false;
+    vectorized = default_vector;
   }
 
 (* DataLawyer with every optimization enabled (§4.4). *)
@@ -88,6 +98,7 @@ let default_config =
     delta = default_delta;
     relevance = true;
     shared_scans = true;
+    vectorized = default_vector;
   }
 
 type plan = {
@@ -192,7 +203,13 @@ let auto_index_log_relation db (g : Usage_log.generator) =
                ~column:col ~kind)
     in
     declare "ts" Index.Sorted;
-    declare "uid" Index.Hash
+    declare "uid" Index.Hash;
+    (* The vectorized executor scans log relations zero-copy through a
+       columnar mirror; building it here (and keeping it maintained by
+       the table's mutation hooks) means batch scans never transpose the
+       heap. Cheap to maintain — one vector push per column per append —
+       and harmless when the row path is pinned. *)
+    ignore (Table.enable_columnar table)
 
 (* Install the state recovered from the persistence directory: log
    relation contents, the clock, and the registered-policy set. The same
@@ -275,6 +292,7 @@ let create ?(config = default_config) ?(generators = Usage_log.standard)
       relevance_store = Incremental.Delta_store.create ();
     }
   in
+  Prepared.set_vectorized t.prepared config.vectorized;
   (match persist_dir with
   | None -> ()
   | Some dir ->
@@ -305,6 +323,7 @@ let invalidate t =
 
 let set_config t config =
   t.config <- config;
+  Prepared.set_vectorized t.prepared config.vectorized;
   invalidate t
 
 let register_generator t (g : Usage_log.generator) =
@@ -798,6 +817,26 @@ let relevance_stats t : relevance_stats =
 
 (* (hits, misses) of the shared-scan materialization cache. *)
 let shared_scan_stats t = Prepared.shared_stats t.prepared
+
+type vector_stats = {
+  vec_enabled : bool;  (** this engine's configured route *)
+  vec_batches : int;  (** batches materialized (scans + join outputs) *)
+  vec_rows : int;  (** total rows across those batches *)
+  vec_fallbacks : int;  (** subtree compilations routed back to rows *)
+  vec_hist : int array;
+      (** rows-per-batch histogram: < 16, < 256, < 4096, < 65536, rest *)
+}
+
+(* Process-wide (the compilers' counters are shared across engines, like
+   [Executor.rows_examined]); [vec_enabled] is this engine's config. *)
+let vector_stats t : vector_stats =
+  {
+    vec_enabled = t.config.vectorized;
+    vec_batches = Atomic.get Compile_batch.batches_built;
+    vec_rows = Atomic.get Compile_batch.batch_rows;
+    vec_fallbacks = Atomic.get Compile_batch.row_fallbacks;
+    vec_hist = Compile_batch.hist_snapshot ();
+  }
 
 type unify_stats = {
   unify_registered : int;  (** policies as registered *)

@@ -58,6 +58,16 @@ type config = {
           log table once instead of once per policy. Entries
           self-validate against table versions; results are identical
           either way. *)
+  vectorized : bool;
+      (** the vectorized (batch-at-a-time) executor: batch-eligible
+          policy, partial-policy and witness plans compile through
+          {!Relational.Compile_batch} — zero-copy columnar scans of log
+          relations, selection-vector filters, Value-keyed hash joins,
+          columnar aggregation — with per-subtree fallback to the row
+          path where routing demands it. Verdicts, messages, output
+          order and committed tids are bit-identical either way; only
+          the operator implementation changes. Defaults to
+          {!default_vector}. *)
 }
 
 (** The default for {!config}[.domains]: [DL_DOMAINS] from the
@@ -72,6 +82,10 @@ val default_delta : bool
 (** The default for {!config}[.unification]: on, unless the environment
     sets [DL_UNIFY=0] (CI pins the unrolled path with it). *)
 val default_unify : bool
+
+(** The default for {!config}[.vectorized]: on, unless the environment
+    sets [DL_VECTOR=0] (CI runs the suite both ways). *)
+val default_vector : bool
 
 (** The NoOpt baseline of Algorithm 1: generate only the logs the
     policies mention, evaluate their union, never compact. *)
@@ -193,6 +207,20 @@ val relevance_stats : t -> relevance_stats
     policy plan reusing rows another plan of the same admission already
     materialized for the same scan-plus-filter prefix. *)
 val shared_scan_stats : t -> int * int
+
+type vector_stats = {
+  vec_enabled : bool;  (** this engine's configured route *)
+  vec_batches : int;  (** batches materialized (scans + join outputs) *)
+  vec_rows : int;  (** total rows across those batches *)
+  vec_fallbacks : int;  (** subtree compilations routed back to rows *)
+  vec_hist : int array;
+      (** rows-per-batch histogram: < 16, < 256, < 4096, < 65536, rest *)
+}
+
+(** Vectorized-executor counters. The counters are process-wide (the
+    compilers are shared, like {!Relational.Executor.rows_examined});
+    [vec_enabled] reflects this engine's configuration. *)
+val vector_stats : t -> vector_stats
 
 (** Unification shape of the current offline plan. *)
 type unify_stats = {

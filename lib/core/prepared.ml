@@ -31,12 +31,19 @@
 
 open Relational
 
-type key = { q : Ast.query; lineage : bool; track_src : bool; share : bool }
+type key = {
+  q : Ast.query;
+  lineage : bool;
+  track_src : bool;
+  share : bool;
+  vectorized : bool;
+}
 
 type shard = {
   cache : (key, Executor.compiled) Hashtbl.t;
-  delta : (Ast.query, Executor.delta_compiled option) Hashtbl.t;
-      (** delta-plan derivations, [None] caching ineligibility *)
+  delta : (Ast.query * bool, Executor.delta_compiled option) Hashtbl.t;
+      (** delta-plan derivations keyed by (query, vectorized), [None]
+          caching ineligibility *)
   mutable gen : int;
   mutable hits : int;
   mutable misses : int;
@@ -53,6 +60,13 @@ type t = {
           domain's materialization feeds every policy of the admission.
           Self-validating against (generation, table version) — no [sync]
           discipline needed *)
+  shared_batch : Compile_batch.batch Shared_cache.t;
+      (** batch-typed twin of [shared] for vectorized plans: the batch
+          pipeline shares column batches, never transposed row lists, so
+          a scale-out admission pays no per-policy conversion *)
+  mutable vectorized : bool;
+      (** default route for [prepare]/[prepare_delta]; set once from
+          engine config before any evaluation traffic *)
 }
 
 (* Witness probes bake the current timestamp into their AST, so a
@@ -66,7 +80,11 @@ let create (cat : Catalog.t) : t =
     lock = Mutex.create ();
     shards = Hashtbl.create 4;
     shared = Shared_cache.create ();
+    shared_batch = Shared_cache.create ();
+    vectorized = false;
   }
+
+let set_vectorized t v = t.vectorized <- v
 
 let shard_for t : shard =
   let id = (Domain.self () :> int) in
@@ -105,12 +123,14 @@ let prepare t ?(opts = Executor.default_opts) ?(share = false)
   (* Provenance annotations are slot-specific; such plans never share,
      so don't fragment the cache key space over the flag. *)
   let share = share && (not opts.Executor.lineage) && not opts.Executor.track_src in
+  let vectorized = t.vectorized in
   let k =
     {
       q;
       lineage = opts.Executor.lineage;
       track_src = opts.Executor.track_src;
       share;
+      vectorized;
     }
   in
   match Hashtbl.find_opt s.cache k with
@@ -119,7 +139,8 @@ let prepare t ?(opts = Executor.default_opts) ?(share = false)
     c
   | None ->
     let shared = if share then Some t.shared else None in
-    let c = Executor.prepare ~opts ?shared t.cat q in
+    let shared_batch = if share then Some t.shared_batch else None in
+    let c = Executor.prepare ~opts ~vectorized ?shared ?shared_batch t.cat q in
     if Hashtbl.length s.cache >= capacity then Hashtbl.reset s.cache;
     Hashtbl.replace s.cache k c;
     s.misses <- s.misses + 1;
@@ -132,12 +153,14 @@ let prepare_delta t ~is_log ~clock_rel (q : Ast.query) :
     Executor.delta_compiled option =
   let s = shard_for t in
   sync t s;
-  match Hashtbl.find_opt s.delta q with
+  let vectorized = t.vectorized in
+  let dk = (q, vectorized) in
+  match Hashtbl.find_opt s.delta dk with
   | Some d -> d
   | None ->
-    let d = Executor.prepare_delta t.cat ~is_log ~clock_rel q in
+    let d = Executor.prepare_delta ~vectorized t.cat ~is_log ~clock_rel q in
     if Hashtbl.length s.delta >= capacity then Hashtbl.reset s.delta;
-    Hashtbl.replace s.delta q d;
+    Hashtbl.replace s.delta dk d;
     d
 
 let run t ?opts ?share q = Executor.run_compiled (prepare t ?opts ?share q)
@@ -156,7 +179,12 @@ let stats t =
   Mutex.unlock t.lock;
   (hits, misses)
 
-let shared_stats t = Shared_cache.stats t.shared
+(* Row and batch caches are one materialization facility with two value
+   types; report them as one. *)
+let shared_stats t =
+  let h, m = Shared_cache.stats t.shared in
+  let hb, mb = Shared_cache.stats t.shared_batch in
+  (h + hb, m + mb)
 
 let clear t =
   Mutex.lock t.lock;
@@ -166,4 +194,5 @@ let clear t =
       Hashtbl.reset s.delta)
     t.shards;
   Mutex.unlock t.lock;
-  Shared_cache.clear t.shared
+  Shared_cache.clear t.shared;
+  Shared_cache.clear t.shared_batch

@@ -16,6 +16,13 @@ type t
 
 val create : Catalog.t -> t
 
+(** Set the default compilation route: with [true], {!prepare} and
+    {!prepare_delta} compile through the vectorized executor
+    ({!Relational.Compile_batch}), falling back per subtree where
+    routing demands the row path. Part of the cache key, but intended to
+    be set once, from engine config, before evaluation traffic. *)
+val set_vectorized : t -> bool -> unit
+
 (** Fetch or compile the plan for [q] under [opts]. With [share], the
     plan's base-table scan prefixes materialize through a single
     cross-domain {!Relational.Shared_cache}, so identical prefixes

@@ -1,0 +1,76 @@
+(** Columnar table storage for the vectorized executor.
+
+    A column store is an opt-in decomposed mirror of a table's heap: one
+    {!Vec} of values per schema column plus a parallel vector of tuple
+    ids, all in heap (= tid) order. {!Table} keeps it synchronized across
+    every mutation path exactly as it keeps secondary indexes — appends
+    append, savepoint rollback truncates, and the destructive paths
+    (deletion, update, clear) rebuild — so batch scans can hand the
+    backing arrays to compiled operators without copying.
+
+    The store also answers the delta-watermark question
+    ({!Table.fold_delta}'s binary lower bound) positionally: since rows
+    are tid-sorted, the suffix at or above a watermark tid is a contiguous
+    index range — which is what makes an incremental re-check a column
+    slice instead of a row walk. *)
+
+type t = {
+  width : int;
+  cols : Value.t Vec.t array;  (** one value vector per schema column *)
+  tids : int Vec.t;  (** parallel tid vector, ascending (heap invariant) *)
+}
+
+let create ~width =
+  {
+    width;
+    cols = Array.init width (fun _ -> Vec.create ~dummy:Value.Null ());
+    tids = Vec.create ~dummy:(-1) ();
+  }
+
+let width t = t.width
+
+let length t = Vec.length t.tids
+
+let append t ~tid (cells : Value.t array) =
+  Array.iteri (fun i col -> Vec.push col cells.(i)) t.cols;
+  Vec.push t.tids tid
+
+let truncate t n =
+  Array.iter (fun col -> Vec.truncate col n) t.cols;
+  Vec.truncate t.tids n
+
+let clear t = truncate t 0
+
+(* Destructive mutations (deletion, in-place update) refill the store
+   from the heap in one pass. Those paths are already O(rows) on the
+   table side and are never on the policy-evaluation hot path, so a
+   rebuild keeps the synchronization story obviously correct. *)
+let rebuild t ~row_count iter_rows =
+  clear t;
+  ignore row_count;
+  iter_rows (fun ~tid cells -> append t ~tid cells)
+
+(* Zero-copy view of the store for batch construction: the backing
+   arrays, valid in [0, length t). The caller must not read past the
+   returned length and must not hold the arrays across a mutation (the
+   engine freezes tables for the span of an evaluation, and the shared
+   caches revalidate on {!Table.ver_mut}, so compiled plans respect both
+   by construction). *)
+let columns t = Array.map (fun col -> Vec.unsafe_data col) t.cols
+
+let tids t = Vec.unsafe_data t.tids
+
+let tid_at t i = Vec.get t.tids i
+
+(* First position whose tid is >= [base] — the start of the delta slice
+   (tids are ascending). [length t] when every row is below the
+   watermark. *)
+let delta_start t ~base =
+  let n = Vec.length t.tids in
+  let rec lb lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if Vec.get t.tids mid < base then lb (mid + 1) hi else lb lo mid
+  in
+  lb 0 n

@@ -1,0 +1,41 @@
+(** Columnar table storage for the vectorized executor.
+
+    An opt-in decomposed mirror of a table's heap: one value vector per
+    schema column plus a parallel tid vector, in heap (= tid) order.
+    {!Table} maintains it across every mutation path exactly as it
+    maintains secondary indexes, so batch scans can borrow the backing
+    arrays without copying; positions double as heap row numbers, and the
+    delta watermark becomes a contiguous suffix slice. *)
+
+type t
+
+val create : width:int -> t
+val width : t -> int
+
+(** Number of mirrored rows (always the table's row count). *)
+val length : t -> int
+
+(** Append one row's cells (arity [width]) with its tuple id. *)
+val append : t -> tid:int -> Value.t array -> unit
+
+(** Drop all rows at positions [>= n] (savepoint rollback). *)
+val truncate : t -> int -> unit
+
+val clear : t -> unit
+
+(** Refill from the heap in one pass (deletion / in-place update). *)
+val rebuild :
+  t -> row_count:int -> ((tid:int -> Value.t array -> unit) -> unit) -> unit
+
+(** Zero-copy view: the per-column backing arrays, valid in
+    [0, length t). Read-only; do not hold across a mutation. *)
+val columns : t -> Value.t array array
+
+(** Zero-copy view of the tid vector, same contract as {!columns}. *)
+val tids : t -> int array
+
+val tid_at : t -> int -> int
+
+(** First position whose tid is [>= base] — the start of the delta
+    slice; [length t] when every row is below the watermark. *)
+val delta_start : t -> base:int -> int

@@ -210,35 +210,21 @@ let compile_agg (a : Plan.agg_spec) : arow list -> Value.t =
   fun grows ->
     Aggregate.compute a.Plan.agg ~distinct:a.Plan.distinct_agg ~eval_arg grows
 
-(* Group, project, distinct, order, limit — a direct port of the AST
-   walker's [finish_select], over precompiled closures. *)
-let compile_finish (f : Plan.finish) : arow list -> arow list =
-  let projs = List.map compile_expr f.Plan.projs in
+(* Group + aggregate + HAVING: one (representative row, computed
+   aggregates) pair per output candidate; non-aggregate queries pass
+   rows through. First half of the AST walker's [finish_select]. The
+   batch compiler ({!Compile_batch}) produces the same pairs by columnar
+   accumulation and feeds them to {!compile_finish_tail}, so the two
+   pipelines share the output-shaping semantics below by construction. *)
+let compile_produce (f : Plan.finish) : arow list -> (arow * Value.t array) list
+    =
   let group_keys = List.map compile_expr f.Plan.group_by in
   let grouped = f.Plan.group_by <> [] in
   let aggfns = Array.map compile_agg f.Plan.aggs in
   let having = Option.map compile_expr f.Plan.having in
-  let okeys =
-    List.map
-      (fun ((k : Plan.okey), dir) ->
-        let ck =
-          match k with
-          | Plan.By_output i -> `Out i
-          | Plan.By_expr p -> `Expr (compile_expr p)
-          | Plan.By_null -> `Nul
-        in
-        (ck, dir))
-      f.Plan.order_by
-  in
-  let dkeys =
-    match f.Plan.distinct with Plan.D_on keys -> List.map compile_expr keys | _ -> []
-  in
   fun rows ->
-    (* One (representative row, computed aggregates) pair per output
-       candidate. Non-aggregate queries pass rows through. *)
-    let produced : (arow * Value.t array) list =
-      if not f.Plan.aggregated then List.map (fun r -> (r, [||])) rows
-      else begin
+    if not f.Plan.aggregated then List.map (fun r -> (r, [||])) rows
+    else begin
         let group_list =
           if not grouped then [ List.rev rows ]
           else begin
@@ -285,7 +271,30 @@ let compile_finish (f : Plan.finish) : arow list -> arow list =
             if keep then Some (merged, aggs) else None)
           group_list
       end
-    in
+
+(* Projection, DISTINCT, ORDER BY, LIMIT over (representative, aggs)
+   pairs — second half of the AST walker's [finish_select], shared
+   verbatim with the batch compiler so output shaping cannot diverge
+   between the row and vectorized pipelines. *)
+let compile_finish_tail (f : Plan.finish) :
+    (arow * Value.t array) list -> arow list =
+  let projs = List.map compile_expr f.Plan.projs in
+  let okeys =
+    List.map
+      (fun ((k : Plan.okey), dir) ->
+        let ck =
+          match k with
+          | Plan.By_output i -> `Out i
+          | Plan.By_expr p -> `Expr (compile_expr p)
+          | Plan.By_null -> `Nul
+        in
+        (ck, dir))
+      f.Plan.order_by
+  in
+  let dkeys =
+    match f.Plan.distinct with Plan.D_on keys -> List.map compile_expr keys | _ -> []
+  in
+  fun produced ->
     (* Projections, then order keys, per produced row. *)
     let outputs =
       List.map
@@ -385,6 +394,41 @@ let compile_finish (f : Plan.finish) : arow list -> arow list =
     in
     List.map fst outputs
 
+(* Group, project, distinct, order, limit — a direct port of the AST
+   walker's [finish_select], over precompiled closures. *)
+let compile_finish (f : Plan.finish) : arow list -> arow list =
+  let produce = compile_produce f in
+  let tail = compile_finish_tail f in
+  fun rows -> tail (produce rows)
+
+(* UNION merge. [ALL] concatenates; otherwise duplicates are merged by
+   value in first-encounter order, absorbing lineages/source-tids as for
+   DISTINCT. Shared with the batch compiler's UNION arm. *)
+let union_rows ~(all : bool) (lrows : arow list) (rrows : arow list) :
+    arow list =
+  if all then lrows @ rrows
+  else begin
+    let seen : (string, arow ref) Hashtbl.t = Hashtbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun row ->
+        let key = Value.canonical_key_of_array row.vals in
+        match Hashtbl.find_opt seen key with
+        | Some kept ->
+          kept :=
+            {
+              !kept with
+              lin = Lineage.union !kept.lin row.lin;
+              src = !kept.src @ row.src;
+            }
+        | None ->
+          let cell = ref row in
+          Hashtbl.add seen key cell;
+          order := cell :: !order)
+      (lrows @ rrows);
+    List.rev_map (fun c -> !c) !order
+  end
+
 (* One scan closure per access path. Key/bound expressions compile once,
    here; probes and bound evaluation happen per execution. Shared between
    the [Plan.Scan] and [Plan.Shared] slot arms so the two sources read
@@ -447,33 +491,7 @@ let rec compile_q (cat : Catalog.t) (shared : arow list Shared_cache.t option)
   | Plan.Union { all; left; right } ->
     let l = compile_q cat shared opts left in
     let r = compile_q cat shared opts right in
-    let exec () =
-      let lrows = l.exec () in
-      let rrows = r.exec () in
-      if all then lrows @ rrows
-      else begin
-        (* Merge duplicate lineages/source-tids, as for DISTINCT. *)
-        let seen : (string, arow ref) Hashtbl.t = Hashtbl.create 64 in
-        let order = ref [] in
-        List.iter
-          (fun row ->
-            let key = Value.canonical_key_of_array row.vals in
-            match Hashtbl.find_opt seen key with
-            | Some kept ->
-              kept :=
-                {
-                  !kept with
-                  lin = Lineage.union !kept.lin row.lin;
-                  src = !kept.src @ row.src;
-                }
-            | None ->
-              let cell = ref row in
-              Hashtbl.add seen key cell;
-              order := cell :: !order)
-          (lrows @ rrows);
-        List.rev_map (fun c -> !c) !order
-      end
-    in
+    let exec () = union_rows ~all (l.exec ()) (r.exec ()) in
     { cols = l.cols; exec }
 
 and compile_select (cat : Catalog.t) (shared : arow list Shared_cache.t option)

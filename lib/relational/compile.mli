@@ -32,6 +32,31 @@ val compile_expr : Plan.pexpr -> cexpr
 
 type t = { cols : string array; exec : unit -> arow list }
 
+(** {1 Finish pipeline, exposed for the batch compiler}
+
+    {!Compile_batch} replaces the join pipeline with columnar operators
+    but produces the same [(representative row, computed aggregates)]
+    pairs and reuses the closures below, so grouping, projection,
+    DISTINCT, ORDER BY and LIMIT semantics are shared code rather than a
+    reimplementation. *)
+
+(** Group + aggregate + HAVING over materialized rows: one pair per
+    output candidate; non-aggregate queries pass rows through with
+    [[||]] aggregates. *)
+val compile_produce : Plan.finish -> arow list -> (arow * Value.t array) list
+
+(** Projection, DISTINCT, ORDER BY and LIMIT over produced pairs. *)
+val compile_finish_tail :
+  Plan.finish -> (arow * Value.t array) list -> arow list
+
+(** UNION merge: [~all:true] concatenates; otherwise duplicates are
+    merged by value in first-encounter order, absorbing provenance. *)
+val union_rows : all:bool -> arow list -> arow list -> arow list
+
+(** Add to {!rows_examined} (join-step statistics; the batch join calls
+    this with the same counts as the row join). *)
+val note_rows : int -> unit
+
 (** Compile a bound plan against the catalog. When [shared] is given,
     {!Plan.Shared} slots materialize through it — the first plan of an
     admission to execute a given scan-plus-filter prefix fills the cache

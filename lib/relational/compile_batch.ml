@@ -1,0 +1,754 @@
+(** Batch-at-a-time (vectorized) compiler.
+
+    A sibling of {!Compile} that lowers batch-routed subtrees
+    ({!Optimizer.batch_route}) to columnar operators: scans borrow a
+    table's columnar mirror ({!Table.columnar}) without copying,
+    predicates refine a selection vector one conjunct per pass, hash
+    joins build Value-keyed tables over column vectors and emit gathered
+    index pairs, and aggregation accumulates per group over row indices.
+    Everything downstream of the pipeline — grouping representative
+    semantics, projection, DISTINCT, ORDER BY, LIMIT, UNION merge — is
+    the row compiler's own closures ({!Compile.compile_produce},
+    {!Compile.compile_finish_tail}, {!Compile.union_rows}), so output
+    shaping cannot diverge.
+
+    Observable behaviour is bit-identical to the row path by
+    construction: scan order is heap/tid order, the hash join reproduces
+    the reverse-insertion match order of [Hashtbl.add]/[find_all] in
+    probe-major output order, single-value keys rely on
+    {!Value.equal}/{!Value.hash} agreeing with {!Value.canonical_key}
+    equality (multi-column keys keep the canonical string encoding), and
+    scalar evaluation reuses {!Compile.compile_expr} closures over a
+    per-execution scratch row, so error messages and laziness are the
+    row path's own. Subtrees the router keeps on the row path (lineage
+    runs, aggregated source-tracking, group-context expressions) fall
+    back to {!Compile.compile} wholesale. *)
+
+(* Per-batch statistics, exposed through engine stats / :stats / server
+   STATS. Atomic: compiled plans execute concurrently on the engine's
+   domain pool. *)
+let batches_built = Atomic.make 0
+let batch_rows = Atomic.make 0
+let row_fallbacks = Atomic.make 0
+
+(* Rows-per-batch histogram: < 16, < 256, < 4096, < 65536, >= 65536. *)
+let hist_bounds = [| 16; 256; 4096; 65536 |]
+let hist = Array.init (Array.length hist_bounds + 1) (fun _ -> Atomic.make 0)
+
+let note_batch n =
+  Atomic.incr batches_built;
+  ignore (Atomic.fetch_and_add batch_rows n);
+  let rec bucket i =
+    if i >= Array.length hist_bounds || n < hist_bounds.(i) then i
+    else bucket (i + 1)
+  in
+  Atomic.incr hist.(bucket 0)
+
+let hist_snapshot () = Array.map Atomic.get hist
+
+let reset_stats () =
+  Atomic.set batches_built 0;
+  Atomic.set batch_rows 0;
+  Atomic.set row_fallbacks 0;
+  Array.iter (fun c -> Atomic.set c 0) hist
+
+(* Batches ---------------------------------------------------------------- *)
+
+(* Which positions of the backing columns are live, in output order.
+   [All n] avoids materializing the identity selection for fresh scans
+   (the common case on large log relations). *)
+type selv = All of int | Chosen of int array
+
+(* A source-tid column for [track_src] runs: tids parallel to the
+   backing columns, tagged with the FROM-slot index they annotate. *)
+type src_col = { slot : int; tids : int array }
+
+(* A column batch. [cols] are backing arrays — possibly borrowed
+   zero-copy from a table's columnar mirror, so only positions reached
+   through [sel] are meaningful. [srcs] is in ascending slot order. *)
+type batch = { cols : Value.t array array; sel : selv; srcs : src_col list }
+
+let sel_length = function All n -> n | Chosen a -> Array.length a
+
+let sel_iter f = function
+  | All n ->
+    for i = 0 to n - 1 do
+      f i
+    done
+  | Chosen a -> Array.iter f a
+
+(* Expressions ------------------------------------------------------------ *)
+
+(* A positional evaluator: bind to a batch's columns once per execution,
+   then evaluate at row positions. *)
+type bexpr = Value.t array array -> int -> Value.t
+
+let rec add_fields acc (p : Plan.pexpr) =
+  match p with
+  | Plan.Field i | Plan.Rep_field i -> if List.mem i acc then acc else i :: acc
+  | Plan.Const _ | Plan.Agg_ref _ | Plan.Agg_outside -> acc
+  | Plan.Binop (_, a, b) -> add_fields (add_fields acc a) b
+  | Plan.Unop (_, a) -> add_fields acc a
+  | Plan.Fn (_, args) -> List.fold_left add_fields acc args
+  | Plan.Case (branches, default) ->
+    let acc =
+      List.fold_left
+        (fun acc (c, v) -> add_fields (add_fields acc c) v)
+        acc branches
+    in
+    (match default with None -> acc | Some d -> add_fields acc d)
+
+(* Bare fields and constants evaluate straight off the columns. Anything
+   richer reuses the row compiler's scalar closure over a scratch row
+   refilled with just the fields the expression reads — semantics
+   (dispatch, laziness, error messages) are therefore shared code, at
+   the cost of a few array stores per row. The scratch row is allocated
+   at column-binding time, i.e. per execution, because compiled plans
+   run concurrently across domains. *)
+let rec compile_bexpr (p : Plan.pexpr) : bexpr =
+  match p with
+  | Plan.Field i ->
+    fun cols ->
+      let c = cols.(i) in
+      fun ri -> c.(ri)
+  | Plan.Const v -> fun _ _ -> v
+  | Plan.Binop
+      ( ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op),
+        ((Plan.Field _ | Plan.Const _) as a),
+        ((Plan.Field _ | Plan.Const _) as b) ) ->
+    (* The hot filter shape (column vs column/constant) dispatches
+       through the row path's own [Eval.compare_op] — same semantics,
+       no scratch-row copy. *)
+    let ba = compile_bexpr a and bb = compile_bexpr b in
+    fun cols ->
+      let ea = ba cols and eb = bb cols in
+      fun ri -> Eval.compare_op op (ea ri) (eb ri)
+  | _ ->
+    let ce = Compile.compile_expr p in
+    let used = Array.of_list (add_fields [] p) in
+    fun cols ->
+      let scratch = Array.make (Array.length cols) Value.Null in
+      let srcs = Array.map (fun i -> cols.(i)) used in
+      fun ri ->
+        for k = 0 to Array.length used - 1 do
+          scratch.(used.(k)) <- (Array.unsafe_get srcs k).(ri)
+        done;
+        ce scratch [||]
+
+(* Filters ---------------------------------------------------------------- *)
+
+(* One selection-refinement pass for one conjunct. *)
+let filter_pass (b : batch) (ev : int -> Value.t) : batch =
+  let n = sel_length b.sel in
+  let out = Array.make n 0 in
+  let j = ref 0 in
+  sel_iter
+    (fun ri ->
+      if Value.to_bool (ev ri) then begin
+        out.(!j) <- ri;
+        incr j
+      end)
+    b.sel;
+  { b with sel = Chosen (Array.sub out 0 !j) }
+
+(* Pushed-down predicates: one pass per conjunct, the row path's
+   [scan_preds] evaluation order. *)
+let filter_conjuncts (b : batch) (preds : bexpr list) : batch =
+  List.fold_left (fun b bx -> filter_pass b (bx b.cols)) b preds
+
+(* Join residuals: a single pass evaluating all conjuncts per row with
+   short-circuit, the row path's [List.for_all] order. *)
+let filter_residual (b : batch) (preds : bexpr list) : batch =
+  match preds with
+  | [] -> b
+  | _ ->
+    let evs = List.map (fun bx -> bx b.cols) preds in
+    let n = sel_length b.sel in
+    let out = Array.make n 0 in
+    let j = ref 0 in
+    sel_iter
+      (fun ri ->
+        if List.for_all (fun ev -> Value.to_bool (ev ri)) evs then begin
+          out.(!j) <- ri;
+          incr j
+        end)
+      b.sel;
+    { b with sel = Chosen (Array.sub out 0 !j) }
+
+(* Scans ------------------------------------------------------------------ *)
+
+(* Transpose a row list (index probe results, columnar-less tables). *)
+let batch_of_rows ~track ~slot ~width (rows : Row.t list) : batch =
+  let n = List.length rows in
+  let cols = Array.init width (fun _ -> Array.make n Value.Null) in
+  let tids = if track then Array.make n 0 else [||] in
+  List.iteri
+    (fun i row ->
+      let cells = Row.cells row in
+      for c = 0 to width - 1 do
+        cols.(c).(i) <- cells.(c)
+      done;
+      if track then tids.(i) <- Row.tid row)
+    rows;
+  { cols; sel = All n; srcs = (if track then [ { slot; tids } ] else []) }
+
+(* Index probe results as a batch, without materializing rows: the
+   probe's tids (ascending, same order contract as [Table.index_lookup])
+   become a selection vector over the mirror's zero-copy columns via a
+   single merge walk of the two ascending tid sequences. A tid absent
+   from the mirror is skipped, matching the row path's stale-tid
+   filtering. *)
+let batch_of_sorted_tids store ~track ~slot (tids : int array) : batch =
+  let mt = Column.tids store in
+  let n = Column.length store in
+  let buf = Array.make (Array.length tids) 0 in
+  let k = ref 0 and p = ref 0 in
+  Array.iter
+    (fun tid ->
+      while !p < n && mt.(!p) < tid do
+        incr p
+      done;
+      if !p < n && mt.(!p) = tid then begin
+        buf.(!k) <- !p;
+        incr k
+      end)
+    tids;
+  {
+    cols = Column.columns store;
+    sel = Chosen (if !k = Array.length buf then buf else Array.sub buf 0 !k);
+    srcs = (if track then [ { slot; tids = mt } ] else []);
+  }
+
+(* One scan closure per access path, mirroring [Compile.access_scan]:
+   index probes count against {!Compile.index_probes} and NULL keys /
+   bounds match nothing. Tables with a columnar mirror are scanned
+   zero-copy; others transpose per execution. *)
+let batch_access (table : Table.t) (tname : string) ~track ~slot
+    (access : Plan.access) : unit -> batch =
+  let width = Schema.arity (Table.schema table) in
+  match access with
+  | Plan.Heap -> (
+    fun () ->
+      match Table.columnar table with
+      | Some store ->
+        let n = Column.length store in
+        {
+          cols = Column.columns store;
+          sel = All n;
+          srcs =
+            (if track then [ { slot; tids = Column.tids store } ] else []);
+        }
+      | None ->
+        let rows = List.rev (Table.fold (fun acc r -> r :: acc) [] table) in
+        batch_of_rows ~track ~slot ~width rows)
+  | Plan.Delta -> (
+    (* The watermark is read per execution, like the row path: one
+       compiled plan keeps scanning the current delta suffix as the
+       engine advances [Table.delta_base]. *)
+    fun () ->
+      match Table.columnar table with
+      | Some store ->
+        let n = Column.length store in
+        let lo = Column.delta_start store ~base:(Table.delta_base table) in
+        {
+          cols = Column.columns store;
+          sel =
+            (if lo = 0 then All n
+             else Chosen (Array.init (n - lo) (fun k -> lo + k)));
+          srcs =
+            (if track then [ { slot; tids = Column.tids store } ] else []);
+        }
+      | None ->
+        let rows =
+          List.rev (Table.fold_delta (fun acc r -> r :: acc) [] table)
+        in
+        batch_of_rows ~track ~slot ~width rows)
+  | Plan.Index_eq { index; key } ->
+    let ix =
+      match Table.find_index table index with
+      | Some ix -> ix
+      | None -> Errors.catalog_error "no index %s on table %s" index tname
+    in
+    let ckey = Compile.compile_expr key in
+    fun () ->
+      Atomic.incr Compile.index_probes;
+      let v = ckey [||] [||] in
+      (* [col = NULL] matches nothing. *)
+      (match Table.columnar table with
+      | Some store ->
+        let tids =
+          if Value.is_null v then [||] else Table.index_lookup_tids table ix v
+        in
+        batch_of_sorted_tids store ~track ~slot tids
+      | None ->
+        let rows =
+          if Value.is_null v then [] else Table.index_lookup table ix v
+        in
+        batch_of_rows ~track ~slot ~width rows)
+  | Plan.Index_range { index; lo; hi } ->
+    let ix =
+      match Table.find_index table index with
+      | Some ix -> ix
+      | None -> Errors.catalog_error "no index %s on table %s" index tname
+    in
+    let kcol = Index.column ix in
+    let cbound = Option.map (fun (p, incl) -> (Compile.compile_expr p, incl)) in
+    let clo = cbound lo and chi = cbound hi in
+    fun () ->
+      Atomic.incr Compile.index_probes;
+      let eval = Option.map (fun (c, incl) -> (c [||] [||], incl)) in
+      let lo = eval clo and hi = eval chi in
+      (* A NULL bound makes the comparison false for every row. *)
+      let null_bound =
+        match lo, hi with
+        | Some (v, _), _ when Value.is_null v -> true
+        | _, Some (v, _) when Value.is_null v -> true
+        | _ -> false
+      in
+      (match Table.columnar table with
+      | Some store ->
+        (* The row path re-sorts probe results into tid order, so a
+           range probe is observably a bound-filtered scan in heap
+           order — over the mirror that is one selection pass on the
+           key column ([Index.range]'s bound semantics, NULL-keyed rows
+           excluded), skipping the index walk, row fetch and re-sort.
+           Selective ranges trade an O(matched) walk for O(rows) cheap
+           compares; the engine's range probes are watermark-shaped and
+           typically match most of the log. *)
+        let above =
+          match lo with
+          | None -> fun _ -> true
+          | Some (b, incl) ->
+            fun v ->
+              let c = Value.compare v b in
+              if incl then c >= 0 else c > 0
+        in
+        let below =
+          match hi with
+          | None -> fun _ -> true
+          | Some (b, incl) ->
+            fun v ->
+              let c = Value.compare v b in
+              if incl then c <= 0 else c < 0
+        in
+        let col = (Column.columns store).(kcol) in
+        let n = Column.length store in
+        let buf = Array.make n 0 in
+        let k = ref 0 in
+        if not null_bound then
+          for p = 0 to n - 1 do
+            let v = col.(p) in
+            if (not (Value.is_null v)) && above v && below v then begin
+              buf.(!k) <- p;
+              incr k
+            end
+          done;
+        {
+          cols = Column.columns store;
+          sel = Chosen (Array.sub buf 0 !k);
+          srcs =
+            (if track then [ { slot; tids = Column.tids store } ] else []);
+        }
+      | None ->
+        let rows =
+          if null_bound then [] else Table.index_range table ix ?lo ?hi ()
+        in
+        batch_of_rows ~track ~slot ~width rows)
+
+(* Joins ------------------------------------------------------------------ *)
+
+module VTbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+let gather_cols (cols : Value.t array array) (idx : int array) =
+  Array.map (fun col -> Array.map (fun i -> col.(i)) idx) cols
+
+let gather_srcs (srcs : src_col list) (idx : int array) =
+  List.map
+    (fun sc -> { sc with tids = Array.map (fun i -> sc.tids.(i)) idx })
+    srcs
+
+(* Hash join: build on the new slot (full width), probe with the prefix,
+   emit (probe, build) position pairs. Per-key chains are built by
+   prepending in build order, reproducing [Hashtbl.add] + [find_all]'s
+   reverse-insertion match order; probing in prefix order makes the
+   output probe-major, exactly the row path's [List.rev !out]. *)
+let join_hash ~(keys : (bexpr * bexpr) list) (prefix : batch) (build : batch)
+    ~(keep : int array option) : batch =
+  let probe_idx = Vec.create ~dummy:0 () in
+  let build_idx = Vec.create ~dummy:0 () in
+  (match keys with
+   | [ (cp, cb) ] ->
+     (* Single-column key: a Value-keyed table. [Value.equal] /
+        [Value.hash] agree with canonical-key equality on single values
+        (NULL = NULL, integral floats = ints), so grouping matches the
+        row path's string keys without per-row encoding. *)
+     let evb = cb build.cols in
+     let tbl : int list ref VTbl.t =
+       VTbl.create (max 16 (sel_length build.sel))
+     in
+     sel_iter
+       (fun p ->
+         let k = evb p in
+         match VTbl.find_opt tbl k with
+         | Some cell -> cell := p :: !cell
+         | None -> VTbl.add tbl k (ref [ p ]))
+       build.sel;
+     let evp = cp prefix.cols in
+     sel_iter
+       (fun q ->
+         match VTbl.find_opt tbl (evp q) with
+         | None -> ()
+         | Some cell ->
+           List.iter
+             (fun p ->
+               Vec.push probe_idx q;
+               Vec.push build_idx p)
+             !cell)
+       prefix.sel
+   | _ ->
+     (* Multi-column key: keep the row path's canonical string encoding
+        verbatim (its concatenation is the equality the row path
+        implements, collisions and all). *)
+     let evbs = List.map (fun (_, cb) -> cb build.cols) keys in
+     let tbl : (string, int list ref) Hashtbl.t =
+       Hashtbl.create (max 16 (sel_length build.sel))
+     in
+     sel_iter
+       (fun p ->
+         let kv = Array.of_list (List.map (fun ev -> ev p) evbs) in
+         let k = Value.canonical_key_of_array kv in
+         match Hashtbl.find_opt tbl k with
+         | Some cell -> cell := p :: !cell
+         | None -> Hashtbl.add tbl k (ref [ p ]))
+       build.sel;
+     let evps = List.map (fun (cp, _) -> cp prefix.cols) keys in
+     sel_iter
+       (fun q ->
+         let kv = Array.of_list (List.map (fun ev -> ev q) evps) in
+         match Hashtbl.find_opt tbl (Value.canonical_key_of_array kv) with
+         | None -> ()
+         | Some cell ->
+           List.iter
+             (fun p ->
+               Vec.push probe_idx q;
+               Vec.push build_idx p)
+             !cell)
+       prefix.sel);
+  let pidx = Vec.to_array probe_idx and bidx = Vec.to_array build_idx in
+  let m = Array.length pidx in
+  Compile.note_rows m;
+  note_batch m;
+  let bcols =
+    match keep with
+    | None -> build.cols
+    | Some keep -> Array.map (fun j -> build.cols.(j)) keep
+  in
+  {
+    cols = Array.append (gather_cols prefix.cols pidx) (gather_cols bcols bidx);
+    sel = All m;
+    srcs = gather_srcs prefix.srcs pidx @ gather_srcs build.srcs bidx;
+  }
+
+(* Nested-loop cross product, probe-major like the row path. *)
+let join_nested (prefix : batch) (build : batch) ~(keep : int array option) :
+    batch =
+  let probe_idx = Vec.create ~dummy:0 () in
+  let build_idx = Vec.create ~dummy:0 () in
+  sel_iter
+    (fun q ->
+      sel_iter
+        (fun p ->
+          Vec.push probe_idx q;
+          Vec.push build_idx p)
+        build.sel)
+    prefix.sel;
+  let pidx = Vec.to_array probe_idx and bidx = Vec.to_array build_idx in
+  let m = Array.length pidx in
+  Compile.note_rows m;
+  note_batch m;
+  let bcols =
+    match keep with
+    | None -> build.cols
+    | Some keep -> Array.map (fun j -> build.cols.(j)) keep
+  in
+  {
+    cols = Array.append (gather_cols prefix.cols pidx) (gather_cols bcols bidx);
+    sel = All m;
+    srcs = gather_srcs prefix.srcs pidx @ gather_srcs build.srcs bidx;
+  }
+
+(* Finish ----------------------------------------------------------------- *)
+
+let row_at (b : batch) (pos : int) : Value.t array =
+  Array.map (fun col -> col.(pos)) b.cols
+
+let src_at (b : batch) (pos : int) : (int * int) list =
+  List.map (fun sc -> (sc.slot, sc.tids.(pos))) b.srcs
+
+(* Materialize the batch's live rows as annotated rows, in selection
+   order. Lineage is off by routing (lineage runs stay on the row
+   path). *)
+let arows_of_batch (b : batch) : Compile.arow list =
+  let out = ref [] in
+  sel_iter
+    (fun pos ->
+      out :=
+        { Compile.vals = row_at b pos; lin = Lineage.off; src = src_at b pos }
+        :: !out)
+    b.sel;
+  List.rev !out
+
+(* Group + aggregate + HAVING over the final batch, producing the same
+   (representative, aggregates) pairs as [Compile.compile_produce]:
+   canonical group keys, first-encounter group order, members in row
+   order — and for the ungrouped aggregate the row path's reversed
+   order, so fold-sensitive aggregates and the last-row representative
+   match exactly. Aggregates run [Aggregate.compute] over row indices,
+   which is the row path's own accumulation code. *)
+let produce_batch (f : Plan.finish) : batch -> (Compile.arow * Value.t array) list
+    =
+  let gkeys = List.map compile_bexpr f.Plan.group_by in
+  let grouped = f.Plan.group_by <> [] in
+  let aggcs =
+    Array.map
+      (fun (a : Plan.agg_spec) ->
+        ( a.Plan.agg,
+          a.Plan.distinct_agg,
+          match a.Plan.arg with
+          | None -> None
+          | Some p -> Some (compile_bexpr p) ))
+      f.Plan.aggs
+  in
+  let having = Option.map Compile.compile_expr f.Plan.having in
+  fun (b : batch) ->
+    let group_list : int list list =
+      if not grouped then begin
+        let acc = ref [] in
+        sel_iter (fun pos -> acc := pos :: !acc) b.sel;
+        [ !acc ]
+      end
+      else begin
+        match gkeys with
+        | [ gk ] ->
+          (* Single-column key: group on the {!Value} directly —
+             [Value.equal]/[Value.hash] agree with canonical-key
+             equality on single values, so the groups and their
+             first-encounter order are identical to the string path
+             without the per-row key encoding. *)
+          let ev = gk b.cols in
+          let groups : int list ref VTbl.t = VTbl.create 64 in
+          let order = ref [] in
+          sel_iter
+            (fun pos ->
+              let k = ev pos in
+              match VTbl.find_opt groups k with
+              | Some cell -> cell := pos :: !cell
+              | None ->
+                let cell = ref [ pos ] in
+                VTbl.add groups k cell;
+                order := cell :: !order)
+            b.sel;
+          List.rev_map (fun cell -> List.rev !cell) !order
+        | _ ->
+          let evs = List.map (fun bx -> bx b.cols) gkeys in
+          let groups : (string, int list ref) Hashtbl.t = Hashtbl.create 64 in
+          let order = ref [] in
+          sel_iter
+            (fun pos ->
+              let key =
+                Value.canonical_key_of_array
+                  (Array.of_list (List.map (fun ev -> ev pos) evs))
+              in
+              match Hashtbl.find_opt groups key with
+              | Some cell -> cell := pos :: !cell
+              | None ->
+                let cell = ref [ pos ] in
+                Hashtbl.add groups key cell;
+                order := cell :: !order)
+            b.sel;
+          List.rev_map (fun cell -> List.rev !cell) !order
+      end
+    in
+    List.filter_map
+      (fun members ->
+        let aggs =
+          Array.map
+            (fun (agg, distinct, arg) ->
+              let eval_arg =
+                match arg with
+                | None -> fun (_ : int) -> Value.Int 1
+                | Some bx ->
+                  let ev = bx b.cols in
+                  fun pos -> ev pos
+              in
+              Aggregate.compute agg ~distinct ~eval_arg members)
+            aggcs
+        in
+        let merged =
+          match members with
+          | pos :: _ ->
+            (* src is [] here: aggregated + track_src routes to rows. *)
+            { Compile.vals = row_at b pos; lin = Lineage.off; src = [] }
+          | [] -> { Compile.vals = [||]; lin = Lineage.empty; src = [] }
+        in
+        let keep =
+          match having with
+          | None -> true
+          | Some h -> Value.to_bool (h merged.Compile.vals aggs)
+        in
+        if keep then Some (merged, aggs) else None)
+      group_list
+
+(* Pipeline --------------------------------------------------------------- *)
+
+let rec compile_route (cat : Catalog.t)
+    (shared : Compile.arow list Shared_cache.t option)
+    (shared_batch : batch Shared_cache.t option) (opts : Compile.opts)
+    (route : Plan.route) (q : Plan.query) : Compile.t =
+  match route, q with
+  | Plan.Route_batch, Plan.Select sp ->
+    compile_select_batch cat shared shared_batch opts sp
+  | Plan.Route_union { left = rl; right = rr }, Plan.Union { all; left; right }
+    ->
+    let l = compile_route cat shared shared_batch opts rl left in
+    let r = compile_route cat shared shared_batch opts rr right in
+    {
+      Compile.cols = l.Compile.cols;
+      exec = (fun () -> Compile.union_rows ~all (l.Compile.exec ()) (r.Compile.exec ()));
+    }
+  | (Plan.Route_row | Plan.Route_batch | Plan.Route_union _), _ ->
+    (* Routed to rows (or a route/shape mismatch, impossible when the
+       route came from [Optimizer.batch_route] on this query). *)
+    Atomic.incr row_fallbacks;
+    Compile.compile cat ?shared opts q
+
+and compile_select_batch (cat : Catalog.t)
+    (shared : Compile.arow list Shared_cache.t option)
+    (shared_batch : batch Shared_cache.t option) (opts : Compile.opts)
+    (sp : Plan.select_plan) : Compile.t =
+  let track = opts.Compile.track_src in
+  let nslots = Array.length sp.Plan.slots in
+  let scan =
+    Array.mapi
+      (fun idx (slot : Plan.slot) ->
+        let raw =
+          match slot.Plan.source with
+          | Plan.Scan (name, access) ->
+            let table = Catalog.find cat name in
+            batch_access table (Table.name table) ~track ~slot:idx access
+          | Plan.Shared { tag; table = name; access; preds } -> (
+            let table = Catalog.find cat name in
+            let raw =
+              batch_access table (Table.name table) ~track ~slot:idx access
+            in
+            let cpreds = List.map compile_bexpr preds in
+            let materialize () = filter_conjuncts (raw ()) cpreds in
+            match shared_batch with
+            | Some cache when not track ->
+              (* Lineage is off on this route; source-tid columns are
+                 slot-index-specific, so only untracked batches are
+                 shared. Generation / table version are read per
+                 execution, as for the row cache. *)
+              fun () ->
+                Shared_cache.find_or_compute cache
+                  ~gen:(Catalog.generation cat)
+                  ~ver:(Table.ver_mut table) ~tag materialize
+            | _ -> materialize)
+          | Plan.Sub q ->
+            (* Subqueries compile on the row path (they may be routed
+               there themselves) and adapt at the slot boundary; source
+               tids do not flow out of subqueries, as in the row path. *)
+            let c =
+              Compile.compile cat ?shared
+                { opts with Compile.track_src = false }
+                q
+            in
+            let width = Array.length c.Compile.cols in
+            fun () ->
+              let rows = c.Compile.exec () in
+              let n = List.length rows in
+              let cols = Array.init width (fun _ -> Array.make n Value.Null) in
+              List.iteri
+                (fun i (r : Compile.arow) ->
+                  for cidx = 0 to width - 1 do
+                    cols.(cidx).(i) <- r.Compile.vals.(cidx)
+                  done)
+                rows;
+              { cols; sel = All n; srcs = [] }
+        in
+        fun () ->
+          let b = raw () in
+          note_batch (sel_length b.sel);
+          b)
+      sp.Plan.slots
+  in
+  let scan_preds = Array.map (List.map compile_bexpr) sp.Plan.scan_preds in
+  let project =
+    Array.map
+      (fun (slot : Plan.slot) ->
+        if Array.length slot.Plan.keep = Array.length slot.Plan.cols then None
+        else Some slot.Plan.keep)
+      sp.Plan.slots
+  in
+  let steps =
+    Array.map
+      (fun (j : Plan.jstep) ->
+        ( List.map (fun (p, b) -> (compile_bexpr p, compile_bexpr b)) j.Plan.keys,
+          List.map compile_bexpr j.Plan.residual ))
+      sp.Plan.joins
+  in
+  let const_preds = List.map Compile.compile_expr sp.Plan.const_preds in
+  let produce_degenerate = Compile.compile_produce sp.Plan.finish in
+  let produce =
+    if sp.Plan.finish.Plan.aggregated then produce_batch sp.Plan.finish
+    else fun b -> List.map (fun r -> (r, [||])) (arows_of_batch b)
+  in
+  let fin_tail = Compile.compile_finish_tail sp.Plan.finish in
+  let cols = Array.of_list sp.Plan.finish.Plan.columns in
+  let exec () =
+    if not (List.for_all (fun c -> Value.to_bool (c [||] [||])) const_preds)
+    then fin_tail (produce_degenerate [])
+    else if nslots = 0 then
+      fin_tail
+        (produce_degenerate
+           [ { Compile.vals = [||]; lin = Lineage.empty; src = [] } ])
+    else begin
+      let joined = ref { cols = [||]; sel = All 0; srcs = [] } in
+      for si = 0 to nslots - 1 do
+        let b = ref (scan.(si) ()) in
+        b := filter_conjuncts !b scan_preds.(si);
+        let keys, residual = steps.(si) in
+        if si = 0 then begin
+          (match project.(0) with
+           | None -> ()
+           | Some keep ->
+             b := { !b with cols = Array.map (fun j -> !b.cols.(j)) keep });
+          joined := filter_residual !b residual
+        end
+        else begin
+          let out =
+            if keys <> [] then join_hash ~keys !joined !b ~keep:project.(si)
+            else join_nested !joined !b ~keep:project.(si)
+          in
+          joined := filter_residual out residual
+        end
+      done;
+      fin_tail (produce !joined)
+    end
+  in
+  { Compile.cols; exec }
+
+(* Entry point: route per subtree, lower batch subtrees, fall back to the
+   row compiler elsewhere. *)
+let compile (cat : Catalog.t) ?shared ?shared_batch (opts : Compile.opts)
+    (q : Plan.query) : Compile.t =
+  let route =
+    Optimizer.batch_route ~lineage:opts.Compile.lineage
+      ~track_src:opts.Compile.track_src q
+  in
+  compile_route cat shared shared_batch opts route q

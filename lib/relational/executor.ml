@@ -24,8 +24,8 @@ type result = { columns : string list; out_rows : row_out list }
 
 type compiled = Compile.t
 
-let prepare ?(opts = default_opts) ?shared (cat : Catalog.t) (q : Ast.query) :
-    compiled =
+let prepare ?(opts = default_opts) ?(vectorized = false) ?shared ?shared_batch
+    (cat : Catalog.t) (q : Ast.query) : compiled =
   let plan = Optimizer.optimize cat (Plan.of_query cat q) in
   (* Sharing rides on a cache being supplied: the rewrite is pointless
      without one (a Shared slot then compiles to a plain scan), and
@@ -33,7 +33,8 @@ let prepare ?(opts = default_opts) ?shared (cat : Catalog.t) (q : Ast.query) :
   let plan =
     match shared with None -> plan | Some _ -> Optimizer.share_scans plan
   in
-  Compile.compile cat ?shared opts plan
+  if vectorized then Compile_batch.compile cat ?shared ?shared_batch opts plan
+  else Compile.compile cat ?shared opts plan
 
 let prepare_unoptimized ?(opts = default_opts) (cat : Catalog.t) (q : Ast.query)
     : compiled =
@@ -44,13 +45,17 @@ type delta_compiled = {
   delta_variants : compiled list;
 }
 
-let prepare_delta ?(opts = default_opts) (cat : Catalog.t) ~is_log ~clock_rel
-    (q : Ast.query) : delta_compiled option =
+let prepare_delta ?(opts = default_opts) ?(vectorized = false) (cat : Catalog.t)
+    ~is_log ~clock_rel (q : Ast.query) : delta_compiled option =
+  let compile =
+    if vectorized then fun plan -> Compile_batch.compile cat opts plan
+    else fun plan -> Compile.compile cat opts plan
+  in
   Option.map
     (fun (d : Optimizer.delta_plans) ->
       {
         delta_deps = d.Optimizer.deps;
-        delta_variants = List.map (Compile.compile cat opts) d.Optimizer.variants;
+        delta_variants = List.map compile d.Optimizer.variants;
       })
     (Optimizer.derive_delta cat ~is_log ~clock_rel q)
 

@@ -35,11 +35,16 @@ type compiled = Compile.t
     materialization points served through the given cache, so identical
     scan prefixes across the prepared plans of different queries
     materialize once per table version (see {!Optimizer.share_scans};
-    provenance-annotated runs bypass the cache).
+    provenance-annotated runs bypass the cache). With
+    [vectorized:true], batch-eligible subtrees compile through
+    {!Compile_batch} (bit-identical results; [shared_batch] then serves
+    shared scans on the batch path).
     @raise Errors.Sql_error on binding failures. *)
 val prepare :
   ?opts:opts ->
+  ?vectorized:bool ->
   ?shared:Compile.arow list Shared_cache.t ->
+  ?shared_batch:Compile_batch.batch Shared_cache.t ->
   Catalog.t ->
   Ast.query ->
   compiled
@@ -62,6 +67,7 @@ type delta_compiled = {
     query is not delta-eligible. *)
 val prepare_delta :
   ?opts:opts ->
+  ?vectorized:bool ->
   Catalog.t ->
   is_log:(string -> bool) ->
   clock_rel:string ->

@@ -533,3 +533,66 @@ let derive_delta (cat : Catalog.t) ~(is_log : string -> bool)
         names;
       Some { deps; variants = List.rev !variants }
     end
+
+(* Batch-eligibility analysis ---------------------------------------------- *)
+
+(* Expressions the batch operators evaluate positionally (against slot or
+   prefix columns). Group-context nodes ([Rep_field], [Agg_ref]) never
+   appear in the clauses the batch pipeline evaluates — WHERE rejects
+   aggregates at bind — but a plan that somehow carries one routes to the
+   row path rather than miscompiling. [Agg_outside] is batchable: it
+   raises lazily on evaluation, identically in both pipelines. *)
+let rec batchable_pexpr (p : Plan.pexpr) : bool =
+  match p with
+  | Plan.Const _ | Plan.Field _ | Plan.Agg_outside -> true
+  | Plan.Rep_field _ | Plan.Agg_ref _ -> false
+  | Plan.Binop (_, a, b) -> batchable_pexpr a && batchable_pexpr b
+  | Plan.Unop (_, a) -> batchable_pexpr a
+  | Plan.Fn (_, args) -> List.for_all batchable_pexpr args
+  | Plan.Case (branches, default) ->
+    List.for_all
+      (fun (c, v) -> batchable_pexpr c && batchable_pexpr v)
+      branches
+    && (match default with None -> true | Some d -> batchable_pexpr d)
+
+let batch_route ~(lineage : bool) ~(track_src : bool) (q : Plan.query) :
+    Plan.route =
+  let select_eligible (sp : Plan.select_plan) : bool =
+    (* Lineage annotations thread through every operator and merge at
+       DISTINCT/aggregation; such runs stay on the row path wholesale.
+       Source-tid tracking is carried by per-slot tid columns in the
+       batch pipeline, but only for flat selects: an aggregated select
+       merges src lists per group, which the row path owns. *)
+    (not lineage)
+    && not (track_src && sp.Plan.finish.Plan.aggregated)
+    && List.for_all batchable_pexpr sp.Plan.const_preds
+    && Array.for_all (List.for_all batchable_pexpr) sp.Plan.scan_preds
+    && Array.for_all
+         (fun (j : Plan.jstep) ->
+           List.for_all
+             (fun (p, b) -> batchable_pexpr p && batchable_pexpr b)
+             j.Plan.keys
+           && List.for_all batchable_pexpr j.Plan.residual)
+         sp.Plan.joins
+    && Array.for_all
+         (fun (slot : Plan.slot) ->
+           match slot.Plan.source with
+           | Plan.Shared { preds; _ } -> List.for_all batchable_pexpr preds
+           | Plan.Scan _ | Plan.Sub _ -> true)
+         sp.Plan.slots
+    && (not sp.Plan.finish.Plan.aggregated
+       || List.for_all batchable_pexpr sp.Plan.finish.Plan.group_by
+          && Array.for_all
+               (fun (a : Plan.agg_spec) ->
+                 match a.Plan.arg with
+                 | None -> true
+                 | Some p -> batchable_pexpr p)
+               sp.Plan.finish.Plan.aggs)
+  in
+  let rec route = function
+    | Plan.Select sp ->
+      if select_eligible sp then Plan.Route_batch else Plan.Route_row
+    | Plan.Union { left; right; _ } ->
+      Plan.Route_union { left = route left; right = route right }
+  in
+  route q

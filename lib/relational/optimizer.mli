@@ -47,3 +47,15 @@ val derive_delta :
   clock_rel:string ->
   Ast.query ->
   delta_plans option
+
+(** Batch-eligibility analysis for the vectorized executor: route each
+    subtree of an optimized plan to the batch pipeline or back to the
+    row path. A [Select] routes to {!Plan.Route_batch} unless lineage is
+    on (provenance merging stays row-at-a-time), the select is
+    aggregated while source tids are tracked, or a clause the batch
+    operators evaluate positionally contains a group-context expression.
+    UNION sides route independently; subquery slots inside a batched
+    select compile through the row path and enter through the row→batch
+    adapter regardless of the route. *)
+val batch_route :
+  lineage:bool -> track_src:bool -> Plan.query -> Plan.route

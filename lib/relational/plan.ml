@@ -127,6 +127,18 @@ and select_plan = {
 
 and query = Select of select_plan | Union of { all : bool; left : query; right : query }
 
+(** Physical routing of a plan between the row-at-a-time compiler
+    ({!Compile}) and the batch-at-a-time compiler ({!Compile_batch}),
+    decided per subtree by {!Optimizer.batch_route}. The tree mirrors the
+    query's UNION structure; each [Select] node is routed whole (its
+    scans, filters, joins and aggregate accumulation all move together —
+    subquery slots inside a batched select still compile through the row
+    path and enter through the row→batch adapter). *)
+type route =
+  | Route_row
+  | Route_batch
+  | Route_union of { left : route; right : route }
+
 let rec columns = function
   | Select sp -> sp.finish.columns
   | Union { left; _ } -> columns left

@@ -100,6 +100,15 @@ and select_plan = {
 
 and query = Select of select_plan | Union of { all : bool; left : query; right : query }
 
+(** Physical routing between the row-at-a-time compiler ({!Compile}) and
+    the batch-at-a-time compiler ({!Compile_batch}), decided per subtree
+    by {!Optimizer.batch_route}. Mirrors the query's UNION structure;
+    each [Select] is routed whole. *)
+type route =
+  | Route_row
+  | Route_batch
+  | Route_union of { left : route; right : route }
+
 (** Output column names (a UNION's come from its left operand). *)
 val columns : query -> string list
 

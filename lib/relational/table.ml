@@ -34,6 +34,9 @@ type t = {
       (* bumped only by the mutations that can grow a monotone query's
          result without appending new tids: update_where, clear,
          bulk_load (recovery reload) *)
+  mutable columnar : Column.t option;
+      (* opt-in columnar mirror for batch scans, kept consistent with
+         the heap by the same mutation hooks that maintain indexes *)
 }
 
 (* Extra consistency checks (tid monotonicity on insert); off by default,
@@ -54,6 +57,7 @@ let create ~name ~schema =
     delta_base = 0;
     ver_mut = 0;
     ver_unsafe = 0;
+    columnar = None;
   }
 
 (* Freeze markers: the engine freezes every table for the span of a
@@ -110,6 +114,30 @@ let index_remove t (row : Row.t) =
     (fun ix -> Index.remove ix (Row.cell row (Index.column ix)) (Row.tid row))
     t.indexes
 
+(* Columnar-mirror maintenance hooks --------------------------------------- *)
+
+let columnar t = t.columnar
+
+(* Refill the mirror from the heap (deletion and in-place update paths,
+   both cold relative to policy evaluation). *)
+let columnar_rebuild t =
+  match t.columnar with
+  | None -> ()
+  | Some store ->
+    Column.rebuild store ~row_count:(Vec.length t.rows) (fun add ->
+        Vec.iter (fun row -> add ~tid:(Row.tid row) (Row.cells row)) t.rows)
+
+let enable_columnar t =
+  match t.columnar with
+  | Some store -> store
+  | None ->
+    let store = Column.create ~width:(Schema.arity t.schema) in
+    Vec.iter
+      (fun row -> Column.append store ~tid:(Row.tid row) (Row.cells row))
+      t.rows;
+    t.columnar <- Some store;
+    store
+
 (* Insert a row; returns its tuple id. *)
 let insert t cells =
   guard_frozen t "insert";
@@ -125,6 +153,9 @@ let insert t cells =
   let row = Row.make ~tid cells in
   Vec.push t.rows row;
   index_add t row;
+  (match t.columnar with
+  | None -> ()
+  | Some store -> Column.append store ~tid cells);
   tid
 
 let iter f t = Vec.iter f t.rows
@@ -193,6 +224,29 @@ let index_lookup t ix v = rows_of_tids t (Index.lookup ix v)
 
 let index_range t ix ?lo ?hi () = rows_of_tids t (Index.range ix ?lo ?hi ())
 
+(* Tid-only probe variant: the same tids in the same (tid) order as the
+   row-fetching version above, without materializing rows. The batch
+   executor resolves these against the columnar mirror positionally.
+   Monomorphic int sort + in-place dedup — the polymorphic sort_uniq in
+   [rows_of_tids] is measurable at large probes. *)
+let sorted_uniq_tids tids =
+  let a = Array.of_list tids in
+  Array.sort Int.compare a;
+  let n = Array.length a in
+  if n = 0 then a
+  else begin
+    let k = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(!k - 1) then begin
+        a.(!k) <- a.(i);
+        incr k
+      end
+    done;
+    if !k = n then a else Array.sub a 0 !k
+  end
+
+let index_lookup_tids _t ix v = sorted_uniq_tids (Index.lookup ix v)
+
 (* Deletion --------------------------------------------------------------- *)
 
 let guard_no_txn t op =
@@ -211,7 +265,9 @@ let filter_rows t keep_row =
   t.ver_mut <- t.ver_mut + 1;
   if t.indexes <> [] then
     Vec.iter (fun r -> if not (keep_row r) then index_remove t r) t.rows;
-  Vec.filter_in_place keep_row t.rows
+  let removed = Vec.filter_in_place keep_row t.rows in
+  if removed > 0 then columnar_rebuild t;
+  removed
 
 (* Delete all rows whose tid is NOT in [keep]; returns number removed. *)
 let retain_tids t keep =
@@ -227,7 +283,8 @@ let clear t =
   t.ver_mut <- t.ver_mut + 1;
   t.ver_unsafe <- t.ver_unsafe + 1;
   List.iter Index.clear t.indexes;
-  Vec.clear t.rows
+  Vec.clear t.rows;
+  match t.columnar with None -> () | Some store -> Column.clear store
 
 (* Update ----------------------------------------------------------------- *)
 
@@ -248,6 +305,7 @@ let update_where t pred f =
         incr n
       end)
     t.rows;
+  if !n > 0 then columnar_rebuild t;
   !n
 
 (* Savepoints ------------------------------------------------------------- *)
@@ -272,6 +330,9 @@ let rollback_to t (sp : savepoint) =
       index_remove t (Vec.get t.rows i)
     done;
   Vec.truncate t.rows sp.sp_pos;
+  (match t.columnar with
+  | None -> ()
+  | Some store -> Column.truncate store sp.sp_pos);
   t.next_tid <- sp.sp_tid
 
 let release t (_sp : savepoint) = t.in_txn <- false

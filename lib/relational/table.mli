@@ -96,6 +96,26 @@ val index_lookup : t -> Index.t -> Value.t -> Row.t list
 val index_range :
   t -> Index.t -> ?lo:Index.bound -> ?hi:Index.bound -> unit -> Row.t list
 
+(** Tid-only variant of {!index_lookup}: the same tids in the same
+    order (ascending, deduplicated), without fetching rows. The batch
+    executor maps these to columnar-mirror positions instead of
+    materializing rows. *)
+val index_lookup_tids : t -> Index.t -> Value.t -> int array
+
+(** {1 Columnar mirror}
+
+    Opt-in decomposed storage for the vectorized executor ({!Column}):
+    per-column value vectors plus a tid vector, kept exactly consistent
+    with the heap by the same mutation hooks that maintain indexes.
+    Batch scans borrow its backing arrays without copying. *)
+
+(** Build (or return) the table's columnar mirror. Subsequent mutations
+    keep it synchronized. *)
+val enable_columnar : t -> Column.t
+
+(** The columnar mirror, when {!enable_columnar} has been called. *)
+val columnar : t -> Column.t option
+
 (** {1 Deletion and update} *)
 
 (** Delete all rows whose tid is {e not} in the given set; returns the

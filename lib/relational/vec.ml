@@ -75,10 +75,40 @@ let to_list t =
 
 let to_array t = Array.sub t.data 0 t.len
 
+(* The backing array itself: slots at indices >= [length t] hold the
+   dummy. Read-only zero-copy access for batch scans; callers must pair
+   it with the current length and drop it before the next mutation. *)
+let unsafe_data t = t.data
+
 let of_list ~dummy xs =
   let t = create ~dummy () in
   List.iter (push t) xs;
   t
+
+(* Bulk operations (selection vectors and column stores move elements in
+   slabs; going through [get]/[push] per element costs a bounds check and
+   a capacity check each). *)
+
+let blit ~src ~src_pos ~dst ~dst_pos ~len =
+  if len < 0 || src_pos < 0 || src_pos + len > src.len then
+    invalid_arg "Vec.blit: source range out of bounds";
+  if dst_pos < 0 || dst_pos > dst.len then
+    invalid_arg "Vec.blit: destination start out of bounds";
+  ensure_capacity dst (dst_pos + len);
+  Array.blit src.data src_pos dst.data dst_pos len;
+  if dst_pos + len > dst.len then dst.len <- dst_pos + len
+
+let sub t ~pos ~len =
+  if len < 0 || pos < 0 || pos + len > t.len then
+    invalid_arg "Vec.sub: range out of bounds";
+  let r = { data = Array.make (max 16 len) t.dummy; len; dummy = t.dummy } in
+  Array.blit t.data pos r.data 0 len;
+  r
+
+let append dst src =
+  ensure_capacity dst (dst.len + src.len);
+  Array.blit src.data 0 dst.data dst.len src.len;
+  dst.len <- dst.len + src.len
 
 (* Keep only elements satisfying [p], preserving order; returns the number
    of elements removed. *)

@@ -37,8 +37,32 @@ val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 val exists : ('a -> bool) -> 'a t -> bool
 val to_list : 'a t -> 'a list
 val to_array : 'a t -> 'a array
+
+(** The backing array, without copying: indices [>= length t] hold the
+    dummy element. For zero-copy batch scans; treat as read-only and pair
+    with the length observed at the same time. *)
+val unsafe_data : 'a t -> 'a array
 val of_list : dummy:'a -> 'a list -> 'a t
 
 (** [filter_in_place p t] keeps only elements satisfying [p], preserving
     order; returns the number of elements removed. *)
 val filter_in_place : ('a -> bool) -> 'a t -> int
+
+(** {1 Bulk operations} *)
+
+(** [blit ~src ~src_pos ~dst ~dst_pos ~len] copies [len] elements from
+    [src] starting at [src_pos] into [dst] starting at [dst_pos], growing
+    [dst] when the destination range extends past its current length
+    ([dst_pos] itself must not).
+    @raise Invalid_argument when either range is out of bounds. *)
+val blit :
+  src:'a t -> src_pos:int -> dst:'a t -> dst_pos:int -> len:int -> unit
+
+(** [sub t ~pos ~len] is a fresh vector holding elements
+    [pos .. pos+len-1].
+    @raise Invalid_argument when the range is out of bounds. *)
+val sub : 'a t -> pos:int -> len:int -> 'a t
+
+(** [append dst src] pushes every element of [src] onto the end of
+    [dst]. *)
+val append : 'a t -> 'a t -> unit

@@ -85,6 +85,17 @@ let stats t =
   let u = Engine.unify_stats t.engine in
   let r = Engine.relevance_stats t.engine in
   let shared_hits, shared_misses = Engine.shared_scan_stats t.engine in
+  let v = Engine.vector_stats t.engine in
+  let vhist =
+    (* same label:count shape as batch-hist; bucket upper bounds, "max"
+       for the open tail *)
+    let labels = [| "16"; "256"; "4096"; "65536"; "max" |] in
+    String.concat " "
+      (Array.to_list
+         (Array.mapi
+            (fun k n -> Printf.sprintf "%s:%d" labels.(k) n)
+            v.Engine.vec_hist))
+  in
   let i = string_of_int in
   [
     ("sessions-total", i total);
@@ -110,6 +121,11 @@ let stats t =
     ("relevance-skips", i r.Engine.rel_skips);
     ("shared-scan-hits", i shared_hits);
     ("shared-scan-misses", i shared_misses);
+    ("vector-enabled", (if v.Engine.vec_enabled then "1" else "0"));
+    ("vector-batches", i v.Engine.vec_batches);
+    ("vector-rows", i v.Engine.vec_rows);
+    ("vector-fallbacks", i v.Engine.vec_fallbacks);
+    ("vector-hist", vhist);
     ("group-commit-fsyncs", i fsyncs);
     ("wal-records", i wal);
   ]

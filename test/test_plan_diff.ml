@@ -187,6 +187,214 @@ let prop_diff =
       o.Executor.columns = u.Executor.columns
       && canon o.Executor.out_rows = canon u.Executor.out_rows)
 
+(* Vectorized vs row path ------------------------------------------------- *)
+
+(* The vectorized executor must be {e bit-identical} to the row path —
+   same rows in the same order, same source tids — because the engine
+   treats the two as interchangeable per subtree. So unlike [prop_diff],
+   no multiset canonicalization: exact output equality. *)
+let canon_exact (rows : Executor.row_out list) =
+  List.map
+    (fun (r : Executor.row_out) ->
+      (Array.to_list r.Executor.values, r.Executor.lineage, r.Executor.src_tids))
+    rows
+
+(* NULL-heavy variant of the table generator: a 0 in either column
+   becomes NULL (range 0..5, so roughly a third of rows carry one),
+   exercising NULL join keys, NULL grouping and three-valued filters
+   through the batch operators. *)
+let db_of_rows_nullable rows_r rows_s =
+  let db = Database.create () in
+  ignore
+    (Database.exec_script db
+       "CREATE TABLE r (a INT, b INT); CREATE TABLE s (a INT, c INT); \
+        CREATE INDEX ix_r_a ON r USING hash (a); \
+        CREATE INDEX ix_s_c ON s USING sorted (c)");
+  let v = function 0 -> Value.Null | n -> Value.Int n in
+  let r = Database.table db "r" and s = Database.table db "s" in
+  (* one table columnar, one not: joins cross the zero-copy and
+     transpose-fallback scan paths in the same plan *)
+  ignore (Table.enable_columnar r);
+  List.iter (fun (a, b) -> ignore (Table.insert r [| v a; v b |])) rows_r;
+  List.iter (fun (a, c) -> ignore (Table.insert s [| v a; v c |])) rows_s;
+  db
+
+let run_vec_row ~nullable ~opts (sql, rows_r, rows_s) =
+  let db =
+    if nullable then db_of_rows_nullable rows_r rows_s
+    else db_of_rows rows_r rows_s
+  in
+  let cat = Database.catalog db in
+  let q = Parser.query sql in
+  let vec =
+    Executor.run_compiled (Executor.prepare ~opts ~vectorized:true cat q)
+  in
+  let row =
+    Executor.run_compiled (Executor.prepare ~opts ~vectorized:false cat q)
+  in
+  (vec, row)
+
+let vec_props =
+  List.map
+    (fun (name, nullable, opts) ->
+      QCheck.Test.make ~name ~count:500 case_arb (fun case ->
+          let vec, row = run_vec_row ~nullable ~opts case in
+          vec.Executor.columns = row.Executor.columns
+          && canon_exact vec.Executor.out_rows
+             = canon_exact row.Executor.out_rows))
+    [
+      ("vectorized = row path, exact (default opts)", false, Executor.default_opts);
+      ( "vectorized = row path, exact (NULL-heavy)",
+        true,
+        Executor.default_opts );
+      ( "vectorized = row path, exact (track_src, NULL-heavy)",
+        true,
+        { Executor.lineage = false; track_src = true } );
+    ]
+
+(* Adapter pins: deterministic cases for each row<->batch boundary. *)
+
+let check_vec_exact ?(opts = Executor.default_opts) db sql =
+  let cat = Database.catalog db in
+  let q = Parser.query sql in
+  let vec = Executor.run_compiled (Executor.prepare ~opts ~vectorized:true cat q) in
+  let row = Executor.run_compiled (Executor.prepare ~opts ~vectorized:false cat q) in
+  Alcotest.(check (list string)) "columns" row.Executor.columns vec.Executor.columns;
+  Alcotest.(check bool) "rows exact" true
+    (canon_exact vec.Executor.out_rows = canon_exact row.Executor.out_rows);
+  vec
+
+(* Subquery slots compile on the row path and adapt into the batch join;
+   the surrounding hash join and DISTINCT run columnar. *)
+let test_vec_sub_slot_adapter () =
+  let db = sample_db () in
+  let vec =
+    check_vec_exact db
+      "SELECT q.name, d.budget FROM (SELECT name, dept FROM emp WHERE salary \
+       > 75) q, dept d WHERE q.dept = d.dname ORDER BY q.name"
+  in
+  Alcotest.(check bool) "sub-slot join returned rows" true
+    (vec.Executor.out_rows <> [])
+
+(* Index probes transpose into batches: probe counters advance and the
+   NULL-key gate matches nothing, exactly like the row path. *)
+let test_vec_index_adapter () =
+  let db = sample_db () in
+  ignore
+    (Database.exec_script db "CREATE INDEX ix_emp_dept ON emp USING hash (dept)");
+  let probes0 = Atomic.get Executor.index_probes in
+  let vec =
+    check_vec_exact db "SELECT e.name FROM emp e WHERE e.dept = 'eng'"
+  in
+  Alcotest.(check bool) "vectorized run probed the index" true
+    (Atomic.get Executor.index_probes > probes0);
+  Alcotest.(check bool) "probe returned rows" true (vec.Executor.out_rows <> []);
+  let empty =
+    check_vec_exact db "SELECT e.name FROM emp e WHERE e.dept = NULL"
+  in
+  Alcotest.(check int) "NULL key matches nothing" 0
+    (List.length empty.Executor.out_rows)
+
+(* The batch shared-scan cache: two plans sharing a scan prefix under
+   one batch cache must materialize once and agree with the row path. *)
+let test_vec_shared_batch_cache () =
+  let db = sample_db () in
+  let cat = Database.catalog db in
+  let shared_batch = Shared_cache.create () in
+  let shared = Shared_cache.create () in
+  let opts = Executor.default_opts in
+  let prep sql =
+    Executor.prepare ~opts ~vectorized:true ~shared ~shared_batch cat
+      (Parser.query sql)
+  in
+  let q1 = prep "SELECT e.name FROM emp e, dept d WHERE e.dept = d.dname" in
+  let q2 = prep "SELECT e.salary FROM emp e, dept d WHERE e.dept = d.dname" in
+  let r1 = Executor.run_compiled q1 and r2 = Executor.run_compiled q2 in
+  let hits, misses = Shared_cache.stats shared_batch in
+  Alcotest.(check bool) "batch cache materialized" true (misses > 0);
+  Alcotest.(check bool) "batch cache reused" true (hits > 0);
+  let row1 =
+    Executor.run ~opts cat
+      (Parser.query "SELECT e.name FROM emp e, dept d WHERE e.dept = d.dname")
+  in
+  Alcotest.(check bool) "shared batch = row path" true
+    (canon_exact r1.Executor.out_rows = canon_exact row1.Executor.out_rows);
+  Alcotest.(check bool) "second plan returned rows" true
+    (r2.Executor.out_rows <> [])
+
+(* Columnar mirror stays in sync through savepoint rollback — the
+   engine's tentative-increment pattern — so a vectorized re-run after a
+   rollback must not see the discarded rows. *)
+let test_vec_columnar_rollback_sync () =
+  let db = sample_db () in
+  let cat = Database.catalog db in
+  let emp = Database.table db "emp" in
+  ignore (Table.enable_columnar emp);
+  let count () =
+    let r =
+      Executor.run_compiled
+        (Executor.prepare ~vectorized:true cat
+           (Parser.query "SELECT COUNT(*) FROM emp"))
+    in
+    match r.Executor.out_rows with
+    | [ { Executor.values = [| Value.Int n |]; _ } ] -> n
+    | _ -> Alcotest.fail "count expected"
+  in
+  let n0 = count () in
+  let sp = Table.savepoint emp in
+  ignore
+    (Table.insert emp [| Value.Int 99; Value.Str "x"; Value.Str "eng"; Value.Int 1 |]);
+  Alcotest.(check int) "tentative row visible" (n0 + 1) (count ());
+  Table.rollback_to emp sp;
+  Alcotest.(check int) "rollback truncates the mirror" n0 (count ())
+
+(* Engine-level differential: with the vectorized executor on and off,
+   the same policy workload must produce identical verdicts, violation
+   messages and result rows. *)
+let test_vec_engine_differential () =
+  let run vectorized =
+    let db = sample_db () in
+    let e =
+      Engine.create
+        ~config:{ Engine.default_config with Engine.vectorized; domains = 1 }
+        db
+    in
+    ignore
+      (Engine.add_policy e ~name:"no_mgmt"
+         "SELECT DISTINCT 'mgmt data is off limits' FROM users u, emp g \
+          WHERE u.uid = g.id AND g.dept = 'mgmt'");
+    let render (uid, sql) =
+      match Engine.submit e ~uid sql with
+      | Engine.Accepted (r, _) ->
+        "A["
+        ^ String.concat ";"
+            (List.map
+               (fun (ro : Executor.row_out) ->
+                 String.concat ","
+                   (Array.to_list (Array.map Value.to_string ro.Executor.values)))
+               r.Executor.out_rows)
+        ^ "]"
+      | Engine.Rejected (msgs, _) -> "R[" ^ String.concat ";" msgs ^ "]"
+    in
+    let trace =
+      List.map render
+        [
+          (1, "SELECT name FROM emp ORDER BY name");
+          (5, "SELECT name FROM emp");
+          (2, "SELECT dname, budget FROM dept ORDER BY budget");
+          (5, "SELECT COUNT(*) FROM emp");
+          (1, "SELECT dept, COUNT(*) FROM emp GROUP BY dept");
+        ]
+    in
+    Engine.close e;
+    trace
+  in
+  let row = run false and vec = run true in
+  Alcotest.(check bool) "workload produced both verdicts" true
+    (List.exists (fun s -> s.[0] = 'R') row
+    && List.exists (fun s -> s.[0] = 'A') row);
+  Alcotest.(check (list string)) "verdicts, messages and rows identical" row vec
+
 (* Deterministic spot check with full annotations through a join, so a
    lineage/src-tid regression fails with a readable diff. *)
 let test_join_lineage_identical () =
@@ -359,8 +567,13 @@ let test_cache_steady_state () =
     misses'
 
 let suite =
-  List.map QCheck_alcotest.to_alcotest [ prop_diff ]
+  List.map QCheck_alcotest.to_alcotest (prop_diff :: vec_props)
   @ [
+      tc "vectorized: sub-slot adapter" test_vec_sub_slot_adapter;
+      tc "vectorized: index probe adapter" test_vec_index_adapter;
+      tc "vectorized: shared batch cache" test_vec_shared_batch_cache;
+      tc "vectorized: columnar rollback sync" test_vec_columnar_rollback_sync;
+      tc "vectorized: engine verdict differential" test_vec_engine_differential;
       tc "join lineage identical across paths" test_join_lineage_identical;
       tc "indexed access = heap access, bit for bit" test_indexed_vs_heap_identical;
       tc "range index = reference" test_range_index_identical;

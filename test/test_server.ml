@@ -567,7 +567,25 @@ let test_mid_batch_disconnect () =
     Alcotest.(check bool) "counts submissions" true
       (match List.assoc_opt "submissions" kvs with
       | Some n -> int_of_string n >= 1
-      | None -> false)
+      | None -> false);
+    (* vectorized-executor counters ride the same reply *)
+    List.iter
+      (fun k ->
+        Alcotest.(check bool) (k ^ " present") true
+          (List.assoc_opt k kvs <> None))
+      [
+        "vector-enabled"; "vector-batches"; "vector-rows";
+        "vector-fallbacks"; "vector-hist";
+      ];
+    Alcotest.(check (option string)) "vector-enabled mirrors the config"
+      (Some (if Engine.default_vector then "1" else "0"))
+      (List.assoc_opt "vector-enabled" kvs);
+    (* the histogram has one bucket per bound plus the open tail *)
+    (match List.assoc_opt "vector-hist" kvs with
+    | Some h ->
+      Alcotest.(check int) "five histogram buckets" 5
+        (List.length (String.split_on_char ' ' h))
+    | None -> Alcotest.fail "vector-hist missing")
   | r -> Alcotest.fail (Protocol.render_response r));
   close_client b;
   close_client c;
