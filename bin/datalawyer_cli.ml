@@ -201,7 +201,8 @@ let run_repl noopt no_policies domains delta persist_dir persist_fsync serve
            let d = Engine.delta_stats engine in
            Printf.printf "  delta plans: %d eligible, %d fallback\n"
              d.Engine.eligible_plans d.Engine.fallback_plans;
-           Printf.printf "  delta store: %d bases\n" d.Engine.delta_bases;
+           Printf.printf "  delta store: %d bases, %d agg groups, %d rebuilds\n"
+             d.Engine.delta_bases d.Engine.agg_groups d.Engine.agg_rebuilds;
            Printf.printf "  delta evals: %d delta, %d full\n"
              d.Engine.delta_evals d.Engine.full_evals;
            let u = Engine.unify_stats engine in

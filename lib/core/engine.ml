@@ -634,22 +634,37 @@ let delta_entry t (p : Policy.t) : Executor.delta_compiled option =
 (* Try to decide a policy from its delta plans alone. [Some res] is a
    verdict: the policy's result over the full tentative state is empty
    iff [res = None], and a non-empty [res] carries the union of every
-   variant's rows, deduplicated by value — equal, as a set, to the rows
+   branch's rows, deduplicated by value — equal, as a set, to the rows
    full evaluation would produce, so message extraction downstream sees
-   the same set either way. (All variants must run: a unified policy's
-   firing members can be split across variants, and stopping at the
+   the same set either way. (All branches must run: a unified policy's
+   firing members can be split across branches, and stopping at the
    first non-empty one would truncate the message set.) [None] means no
-   shortcut — delta off, plan ineligible, or the base invalidated — and
-   the caller must evaluate in full.
+   shortcut — delta off, plan ineligible, the base invalidated, or a
+   residual branch's clock guard failed — and the caller must evaluate
+   in full.
 
-   Soundness: a valid base says the query was empty over the state below
-   the log relations' delta watermarks, the catalog generation is
-   unchanged (no DDL / config / policy-set change), and every referenced
-   table's version counter matches its snapshot — so plain relations are
-   untouched and log relations have only gained rows above the watermark
-   or lost rows (both monotone-safe). Under those facts any result row
-   over the current state must bind at least one log slot to a delta
-   tuple, and the per-slot variants enumerate exactly those bindings. *)
+   Soundness, per branch kind:
+   - SPJ: a valid base says the query was empty over the state below the
+     log relations' delta watermarks, the catalog generation is
+     unchanged, and every dependency's version snapshot matches — so
+     plain relations are untouched and log relations have only gained
+     rows above the watermark or lost rows (both monotone-safe). Any
+     result row must then bind at least one log slot to a delta tuple,
+     and the per-slot variants enumerate exactly those bindings.
+   - Residual: an exact recompute of the clock-eliminated plan; needs no
+     base at all, only the guard that the clock relation holds exactly
+     one row (dropping the clock slot assumed a 1-row cross join).
+   - Aggregate: the telescoped streams emit precisely the joined tuples
+     binding at least one delta row; folding them into scratch clones of
+     the carried accumulators yields each touched group's exact state
+     (carried = rows below the watermarks, by establishment). Untouched
+     groups' state is unchanged from the proved-empty base, so HAVING —
+     a function of group state alone — still rejects them.
+
+   Inside parallel batches this runs on worker domains over frozen
+   tables: carried aggregate state is only read (scratch clones are
+   task-local), and the per-branch states were created on the serial
+   establishment path, so the store's tables are not mutated here. *)
 let delta_try t ~(stats : Stats.t) (p : Policy.t) :
     Executor.result option option =
   match delta_entry t p with
@@ -658,7 +673,29 @@ let delta_try t ~(stats : Stats.t) (p : Policy.t) :
     let cat = Database.catalog t.db in
     let gen = Catalog.generation cat in
     let vers = Incremental.Delta_store.snapshot cat entry.Executor.delta_deps in
-    if not (Incremental.Delta_store.valid t.delta_store p.Policy.name ~gen ~vers)
+    let clock_ok =
+      List.for_all
+        (function
+          | Executor.C_residual { c_clock; _ } -> (
+            match Catalog.find_opt cat c_clock with
+            | Some tb -> Table.row_count tb = 1
+            | None -> false)
+          | Executor.C_spj _ | Executor.C_agg _ -> true)
+        entry.Executor.delta_branches
+    in
+    let base_needed =
+      List.exists
+        (function
+          | Executor.C_residual _ -> false
+          | Executor.C_spj _ | Executor.C_agg _ -> true)
+        entry.Executor.delta_branches
+    in
+    if
+      (not clock_ok)
+      || base_needed
+         && not
+              (Incremental.Delta_store.valid t.delta_store p.Policy.name ~gen
+                 ~vers)
     then begin
       Incremental.Delta_store.note_full_eval t.delta_store;
       None
@@ -670,13 +707,71 @@ let delta_try t ~(stats : Stats.t) (p : Policy.t) :
         (fun () ->
           stats.Stats.policy_calls <- stats.Stats.policy_calls + 1;
           let columns = ref [] in
+          let run_branch bi (b : Executor.compiled_branch) :
+              Executor.row_out list =
+            match b with
+            | Executor.C_spj variants ->
+              List.concat_map
+                (fun c ->
+                  let r = Executor.run_compiled c in
+                  if !columns = [] then columns := r.Executor.columns;
+                  r.Executor.out_rows)
+                variants
+            | Executor.C_residual { c_plan; _ } ->
+              let r = Executor.run_compiled c_plan in
+              if !columns = [] then columns := r.Executor.columns;
+              r.Executor.out_rows
+            | Executor.C_agg a ->
+              if !columns = [] then columns := a.Executor.c_columns;
+              let srows =
+                List.concat_map
+                  (fun c ->
+                    List.map
+                      (fun (r : Executor.row_out) -> r.Executor.values)
+                      (Executor.run_compiled c).Executor.out_rows)
+                  a.Executor.c_variants
+              in
+              let state =
+                Incremental.Delta_store.agg_state t.delta_store
+                  ~policy:p.Policy.name ~branch:bi
+              in
+              let touched =
+                Incremental.Delta_store.agg_scratch state
+                  ~specs:a.Executor.c_specs ~nkeys:a.Executor.c_nkeys srows
+              in
+              List.filter_map
+                (fun (key, aggvals) ->
+                  (* Representative row: group-key cells recovered from
+                     the key values; positions no bare-field key covers
+                     stay Null and are never read (classification
+                     restricted HAVING/projections to covered cells). *)
+                  let rep = Array.make a.Executor.c_width Value.Null in
+                  List.iteri
+                    (fun ki slot ->
+                      match slot with
+                      | Some fi -> rep.(fi) <- key.(ki)
+                      | None -> ())
+                    a.Executor.c_rep_slots;
+                  let keep =
+                    match a.Executor.c_having with
+                    | None -> true
+                    | Some h -> Value.to_bool (h rep aggvals)
+                  in
+                  if keep then
+                    Some
+                      {
+                        Executor.values =
+                          Array.of_list
+                            (List.map (fun cp -> cp rep aggvals)
+                               a.Executor.c_projs);
+                        lineage = [];
+                        src_tids = [];
+                      }
+                  else None)
+                touched
+          in
           let rows =
-            List.concat_map
-              (fun c ->
-                let r = Executor.run_compiled c in
-                if !columns = [] then columns := r.Executor.columns;
-                r.Executor.out_rows)
-              entry.Executor.delta_variants
+            List.concat (List.mapi run_branch entry.Executor.delta_branches)
           in
           match rows with
           | [] -> Some None
@@ -699,31 +794,108 @@ let delta_try t ~(stats : Stats.t) (p : Policy.t) :
 (* After an accepted submission: acceptance proved every active policy
    empty over the tentative state, of which the just-committed state is a
    subset (monotonicity), so every policy is empty over the committed
-   state. Advance all log watermarks to the committed frontier and record
-   a base for each delta-eligible policy — and a relevance base for each
-   index-eligible one — in the same breath: the alignment of watermark
-   and snapshot is what {!delta_try}'s and {!irrelevant}'s soundness
-   arguments rest on. *)
+   state. Fold carried aggregate state forward, advance all log
+   watermarks to the committed frontier, and record a base for each
+   delta-eligible policy — and a relevance base for each index-eligible
+   one — in the same breath: the alignment of watermark and snapshot is
+   what {!delta_try}'s and {!irrelevant}'s soundness arguments rest on.
+
+   The aggregate fold must run BEFORE the watermarks move: the telescoped
+   delta streams read [Plan.Delta] at execution time, so only now — with
+   the increment committed but the watermarks still at the previous
+   frontier — do they denote exactly the rows this submission added.
+   (This also covers policies the relevance index or batching skipped at
+   evaluation time: the fold depends only on the committed rows, not on
+   which evaluation path decided the policy.) When a policy's base is no
+   longer valid — a plain dependency mutated, arbitrary DML deleted log
+   rows, or compaction invalidated a MIN/MAX-bearing branch — the carried
+   groups are rebuilt from the branch's full all-below stream instead. *)
 let establish_bases t (pl : plan) =
   let cat = Database.catalog t.db in
+  let gen = Catalog.generation cat in
+  let failed = Hashtbl.create 4 in
+  if t.config.delta then
+    List.iter
+      (fun (p : Policy.t) ->
+        match delta_entry t p with
+        | None -> ()
+        | Some entry
+          when List.exists
+                 (function Executor.C_agg _ -> true | _ -> false)
+                 entry.Executor.delta_branches -> (
+          let vers =
+            Incremental.Delta_store.snapshot cat entry.Executor.delta_deps
+          in
+          let base_ok =
+            Incremental.Delta_store.valid t.delta_store p.Policy.name ~gen
+              ~vers
+          in
+          let stream cs =
+            List.concat_map
+              (fun c ->
+                List.map
+                  (fun (r : Executor.row_out) -> r.Executor.values)
+                  (Executor.run_compiled c).Executor.out_rows)
+              cs
+          in
+          try
+            List.iteri
+              (fun bi b ->
+                match b with
+                | Executor.C_spj _ | Executor.C_residual _ -> ()
+                | Executor.C_agg a ->
+                  let state =
+                    Incremental.Delta_store.agg_state t.delta_store
+                      ~policy:p.Policy.name ~branch:bi
+                  in
+                  if base_ok then
+                    Incremental.Delta_store.agg_absorb state
+                      ~specs:a.Executor.c_specs ~nkeys:a.Executor.c_nkeys
+                      (stream a.Executor.c_variants)
+                  else begin
+                    Incremental.Delta_store.agg_clear state;
+                    Incremental.Delta_store.note_agg_rebuild t.delta_store;
+                    Incremental.Delta_store.agg_absorb state
+                      ~specs:a.Executor.c_specs ~nkeys:a.Executor.c_nkeys
+                      (stream [ a.Executor.c_full ])
+                  end)
+              entry.Executor.delta_branches
+          with Errors.Sql_error _ ->
+            (* The fold died mid-branch (e.g. SUM over a value a later
+               mutation made non-numeric); the carried state is no longer
+               trustworthy. Drop it and withhold this policy's base so
+               evaluation falls back to full runs until a clean rebuild
+               succeeds at a later establishment. *)
+            List.iteri
+              (fun bi b ->
+                match b with
+                | Executor.C_agg _ ->
+                  Incremental.Delta_store.agg_clear
+                    (Incremental.Delta_store.agg_state t.delta_store
+                       ~policy:p.Policy.name ~branch:bi)
+                | Executor.C_spj _ | Executor.C_residual _ -> ())
+              entry.Executor.delta_branches;
+            Hashtbl.replace failed p.Policy.name ())
+        | Some _ -> ())
+      pl.active;
   List.iter
     (fun (g : Usage_log.generator) ->
       match Catalog.find_opt cat g.Usage_log.relation with
       | Some table -> Table.mark_delta_base table
       | None -> ())
     t.generators;
-  let gen = Catalog.generation cat in
   if t.config.delta then
     List.iter
       (fun (p : Policy.t) ->
-        match delta_entry t p with
-        | None -> ()
-        | Some entry ->
-          let vers =
-            Incremental.Delta_store.snapshot cat entry.Executor.delta_deps
-          in
-          Incremental.Delta_store.establish t.delta_store p.Policy.name ~gen
-            ~vers)
+        if not (Hashtbl.mem failed p.Policy.name) then
+          match delta_entry t p with
+          | None -> ()
+          | Some entry ->
+            let vers =
+              Incremental.Delta_store.snapshot cat entry.Executor.delta_deps
+            in
+            Incremental.Delta_store.establish t.delta_store p.Policy.name ~gen
+              ~vers)
       pl.active;
   if t.config.relevance then
     List.iter
@@ -780,6 +952,8 @@ type delta_stats = {
   delta_bases : int;
   delta_evals : int;
   full_evals : int;
+  agg_groups : int;
+  agg_rebuilds : int;
 }
 
 let delta_stats t : delta_stats =
@@ -797,6 +971,8 @@ let delta_stats t : delta_stats =
     delta_bases = s.Incremental.Delta_store.bases;
     delta_evals = s.Incremental.Delta_store.delta_evals;
     full_evals = s.Incremental.Delta_store.full_evals;
+    agg_groups = s.Incremental.Delta_store.agg_groups;
+    agg_rebuilds = s.Incremental.Delta_store.agg_rebuilds;
   }
 
 type relevance_stats = {
@@ -1483,11 +1659,15 @@ let submit_serially t subs =
 
 (* Batch fast-path eligibility. The combined-state argument below rests
    on every active policy being a monotone SPJ query that never reads
-   the clock — exactly {!Optimizer.derive_delta}'s eligibility (checked
-   through the prepared cache, so the analysis amortizes across
+   the clock — checked as every delta branch classifying [C_spj]
+   (through the prepared cache, so the analysis amortizes across
    batches) — and on no member query reading a log relation or the
    clock (a member's own result must not depend on whether its
-   batch-mates' increments are still tentative). *)
+   batch-mates' increments are still tentative). Residual and aggregate
+   branches are excluded even though they are delta-eligible: a residual
+   plan reads the clock, which each member sees at a different tick, and
+   an aggregate policy is non-monotone, so emptiness over the combined
+   state says nothing about the arrival-order prefixes. *)
 let batch_eligible t (pl : plan) subs =
   let is_log = is_log t in
   let is_clock rel = lc rel = Usage_log.clock_relation in
@@ -1497,9 +1677,17 @@ let batch_eligible t (pl : plan) subs =
   in
   List.for_all
     (fun (p : Policy.t) ->
-      Option.is_some
-        (Prepared.prepare_delta t.prepared ~is_log
-           ~clock_rel:Usage_log.clock_relation p.Policy.query))
+      match
+        Prepared.prepare_delta t.prepared ~is_log
+          ~clock_rel:Usage_log.clock_relation p.Policy.query
+      with
+      | Some entry ->
+        List.for_all
+          (function
+            | Executor.C_spj _ -> true
+            | Executor.C_residual _ | Executor.C_agg _ -> false)
+          entry.Executor.delta_branches
+      | None -> false)
     pl.active
   && List.for_all
        (fun s -> not (refs is_log s.batch_query || refs is_clock s.batch_query))

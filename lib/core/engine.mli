@@ -183,7 +183,14 @@ type delta_stats = {
   delta_evals : int;  (** policy evaluations served by delta plans *)
   full_evals : int;
       (** evaluations of a delta-eligible policy that fell back to a full
-          re-run (no base yet, or the base was invalidated) *)
+          re-run (no base yet, the base was invalidated, or a residual
+          branch's one-row clock guard failed) *)
+  agg_groups : int;
+      (** carried aggregate groups, summed over every policy's aggregate
+          branches *)
+  agg_rebuilds : int;
+      (** full-stream rebuilds of carried aggregate state (base invalid
+          at establishment) *)
 }
 
 (** Snapshot of the incremental-evaluation state: plan eligibility over

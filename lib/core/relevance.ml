@@ -74,9 +74,10 @@ type filter = { col : int; allowed : (string, unit) Hashtbl.t }
 
 type info = {
   eligible : bool;
-  deps : (string * bool) list;
-      (** every relation the query references (canonical name, is-log),
-          across subqueries too — snapshot input for the base check *)
+  deps : (string * Optimizer.dep_kind) list;
+      (** every relation the query references (canonical name, log
+          relations as [Dep_log], the rest [Dep_plain]), across
+          subqueries too — snapshot input for the base check *)
   slots : (string * filter list) list;
       (** top-level FROM occurrences of log relations, with the equality
           filters extracted for each occurrence's alias *)
@@ -97,16 +98,22 @@ type t = (string, info) Hashtbl.t
 
 let lc = Analysis.lc
 
-(* All (canonical relation, is-log) pairs a query references, including
-   union branches and FROM subqueries. *)
+(* All (canonical relation, dep kind) pairs a query references,
+   including union branches and FROM subqueries. The relevance base
+   needs only the emptiness-proof kinds: appends to log relations are
+   watermark-covered ([Dep_log]), anything else invalidates on any
+   mutation ([Dep_plain]). *)
 let deps_of (cat : Catalog.t) ~(is_log : string -> bool) (q : Ast.query) :
-    (string * bool) list =
+    (string * Optimizer.dep_kind) list =
   Policy.selects_of q
   |> List.concat_map (fun s ->
          List.filter_map
            (fun (_, rel) ->
              Option.map
-               (fun tb -> (Table.name tb, is_log rel))
+               (fun tb ->
+                 ( Table.name tb,
+                   if is_log rel then Optimizer.Dep_log else Optimizer.Dep_plain
+                 ))
                (Catalog.find_opt cat rel))
            (Analysis.table_occurrences s))
   |> List.sort_uniq compare

@@ -16,9 +16,10 @@ type filter = { col : int; allowed : (string, unit) Hashtbl.t }
 
 type info = {
   eligible : bool;
-  deps : (string * bool) list;
-      (** referenced relations (canonical name, is-log), for the base's
-          version snapshot *)
+  deps : (string * Optimizer.dep_kind) list;
+      (** referenced relations (canonical name; log relations as
+          [Dep_log], others [Dep_plain]), for the base's version
+          snapshot *)
   slots : (string * filter list) list;
       (** top-level log-relation occurrences with their filters *)
   guards : (string * int) list;

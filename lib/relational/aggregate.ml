@@ -17,18 +17,18 @@ let arg_values ~distinct eval_arg rows =
                                if Value.is_null v then None else Some v) rows in
   if distinct then VSet.elements (VSet.of_list vals) else vals
 
-let sum vals =
-  List.fold_left
-    (fun acc v ->
-      match acc, v with
-      | Value.Null, v -> v
-      | Value.Int a, Value.Int b -> Value.Int (a + b)
-      | acc, v -> (
-        match Value.as_float acc, Value.as_float v with
-        | Some a, Some b -> Value.Float (a +. b)
-        | _ ->
-          Errors.type_error "SUM over non-numeric value %s" (Value.to_string v)))
-    Value.Null vals
+(* One step of the running SUM fold, exposed so incremental accumulators
+   ({!Incremental.Delta_store}) reproduce batch SUM semantics exactly. *)
+let sum_step acc v =
+  match acc, v with
+  | Value.Null, v -> v
+  | Value.Int a, Value.Int b -> Value.Int (a + b)
+  | acc, v -> (
+    match Value.as_float acc, Value.as_float v with
+    | Some a, Some b -> Value.Float (a +. b)
+    | _ -> Errors.type_error "SUM over non-numeric value %s" (Value.to_string v))
+
+let sum vals = List.fold_left sum_step Value.Null vals
 
 let compute (agg : Ast.agg) ~(distinct : bool) ~(eval_arg : 'row -> Value.t)
     (rows : 'row list) : Value.t =

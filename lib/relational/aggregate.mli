@@ -10,6 +10,13 @@
 val compute :
   Ast.agg -> distinct:bool -> eval_arg:('row -> Value.t) -> 'row list -> Value.t
 
+(** One step of the running SUM fold ([sum = fold_left sum_step Null]).
+    Exposed so incremental aggregate accumulators reproduce batch SUM
+    semantics — NULL start, integer sums stay integers, float promotion —
+    without reimplementing them.
+    @raise Errors.Sql_error on a non-numeric operand. *)
+val sum_step : Value.t -> Value.t -> Value.t
+
 (** The distinct aggregate-call nodes appearing in an expression, in
     first-occurrence order. *)
 val calls_in_expr : Ast.expr -> Ast.expr list

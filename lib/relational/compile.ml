@@ -51,6 +51,7 @@ let rec compile_expr (p : Plan.pexpr) : cexpr =
   | Plan.Agg_outside ->
     fun _ _ ->
       Errors.bind_error "aggregate used outside of an aggregate query context"
+  | Plan.Exec f -> fun _ _ -> f ()
   | Plan.Unop (Ast.Not, a) ->
     let ca = compile_expr a in
     fun vals aggs -> Value.Bool (not (Value.to_bool (ca vals aggs)))
@@ -447,6 +448,12 @@ let access_scan (table : Table.t) (tname : string) (annotate : Row.t -> arow)
     fun () ->
       let rows =
         Table.fold_delta (fun acc row -> annotate row :: acc) [] table
+      in
+      List.rev rows
+  | Plan.Below ->
+    fun () ->
+      let rows =
+        Table.fold_below (fun acc row -> annotate row :: acc) [] table
       in
       List.rev rows
   | Plan.Index_eq { index; key } ->

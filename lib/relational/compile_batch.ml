@@ -86,7 +86,7 @@ type bexpr = Value.t array array -> int -> Value.t
 let rec add_fields acc (p : Plan.pexpr) =
   match p with
   | Plan.Field i | Plan.Rep_field i -> if List.mem i acc then acc else i :: acc
-  | Plan.Const _ | Plan.Agg_ref _ | Plan.Agg_outside -> acc
+  | Plan.Const _ | Plan.Agg_ref _ | Plan.Agg_outside | Plan.Exec _ -> acc
   | Plan.Binop (_, a, b) -> add_fields (add_fields acc a) b
   | Plan.Unop (_, a) -> add_fields acc a
   | Plan.Fn (_, args) -> List.fold_left add_fields acc args
@@ -261,6 +261,24 @@ let batch_access (table : Table.t) (tname : string) ~track ~slot
       | None ->
         let rows =
           List.rev (Table.fold_delta (fun acc r -> r :: acc) [] table)
+        in
+        batch_of_rows ~track ~slot ~width rows)
+  | Plan.Below -> (
+    (* Complement of [Delta]: the prefix strictly below the watermark. *)
+    fun () ->
+      match Table.columnar table with
+      | Some store ->
+        let n = Column.length store in
+        let lo = Column.delta_start store ~base:(Table.delta_base table) in
+        {
+          cols = Column.columns store;
+          sel = (if lo = n then All n else Chosen (Array.init lo (fun k -> k)));
+          srcs =
+            (if track then [ { slot; tids = Column.tids store } ] else []);
+        }
+      | None ->
+        let rows =
+          List.rev (Table.fold_below (fun acc r -> r :: acc) [] table)
         in
         batch_of_rows ~track ~slot ~width rows)
   | Plan.Index_eq { index; key } ->

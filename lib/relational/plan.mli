@@ -24,6 +24,13 @@ type pexpr =
   | Rep_field of int
   | Agg_ref of int
   | Agg_outside
+  | Exec of (unit -> Value.t)
+      (** read a value at execution time — the clock-elimination rewrite
+          substitutes the clock relation's single cell with one of these,
+          so a compiled residual plan stays valid as the clock advances.
+          The closure must never raise and reads no row fields. Plans
+          carrying [Exec] are never marshalled (no
+          {!Optimizer.share_scans}) and never constant-folded. *)
   | Binop of Ast.binop * pexpr * pexpr
   | Unop of Ast.unop * pexpr
   | Fn of string * pexpr list
@@ -39,6 +46,11 @@ type access =
       (** walk only the rows at or above the table's delta watermark
           ({!Table.delta_base}), read at execution time so one compiled
           plan stays valid as the watermark advances *)
+  | Below
+      (** walk only the rows strictly below the watermark — the
+          complement of [Delta]. Telescoped delta variants of aggregate
+          policies use it to count each joined increment row exactly
+          once across variants. *)
   | Index_eq of { index : string; key : pexpr }
   | Index_range of {
       index : string;

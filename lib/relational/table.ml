@@ -34,6 +34,16 @@ type t = {
       (* bumped only by the mutations that can grow a monotone query's
          result without appending new tids: update_where, clear,
          bulk_load (recovery reload) *)
+  mutable ver_del : int;
+      (* bumped only by predicate deletion (delete_where): arbitrary DML
+         removals, which break carried aggregate state even though they
+         cannot grow a monotone result *)
+  mutable ver_compact : int;
+      (* bumped only by tid-set deletion (retain_tids): witness-driven
+         log compaction, which retains every tuple contributing to an
+         active policy — running SUM/COUNT state survives it, while
+         MIN/MAX state (which any removal can break) treats it like a
+         delete *)
   mutable columnar : Column.t option;
       (* opt-in columnar mirror for batch scans, kept consistent with
          the heap by the same mutation hooks that maintain indexes *)
@@ -57,6 +67,8 @@ let create ~name ~schema =
     delta_base = 0;
     ver_mut = 0;
     ver_unsafe = 0;
+    ver_del = 0;
+    ver_compact = 0;
     columnar = None;
   }
 
@@ -272,10 +284,12 @@ let filter_rows t keep_row =
 (* Delete all rows whose tid is NOT in [keep]; returns number removed. *)
 let retain_tids t keep =
   guard_no_txn t "retain_tids";
+  t.ver_compact <- t.ver_compact + 1;
   filter_rows t (fun r -> Hashtbl.mem keep (Row.tid r))
 
 let delete_where t pred =
   guard_no_txn t "delete_where";
+  t.ver_del <- t.ver_del + 1;
   filter_rows t (fun r -> not (pred r))
 
 let clear t =
@@ -359,6 +373,10 @@ let ver_mut t = t.ver_mut
 
 let ver_unsafe t = t.ver_unsafe
 
+let ver_del t = t.ver_del
+
+let ver_compact t = t.ver_compact
+
 (* Fold over the delta: rows with tid >= delta_base. Rows are tid-sorted
    (module invariant), so a binary lower bound finds the start. *)
 let fold_delta f init t =
@@ -372,6 +390,23 @@ let fold_delta f init t =
   in
   let acc = ref init in
   for i = lb 0 n to n - 1 do
+    acc := f !acc (Vec.get t.rows i)
+  done;
+  !acc
+
+(* Fold over the complement of the delta: rows with tid < delta_base.
+   Same binary lower bound as [fold_delta], iterating the prefix. *)
+let fold_below f init t =
+  let n = Vec.length t.rows in
+  let base = t.delta_base in
+  let rec lb lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if Row.tid (Vec.get t.rows mid) < base then lb (mid + 1) hi else lb lo mid
+  in
+  let acc = ref init in
+  for i = 0 to lb 0 n - 1 do
     acc := f !acc (Vec.get t.rows i)
   done;
   !acc

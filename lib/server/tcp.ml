@@ -82,6 +82,7 @@ let stats t =
     | None -> (0, 0)
     | Some s -> (Persistence.Store.fsyncs s, Persistence.Store.wal_records s)
   in
+  let d = Engine.delta_stats t.engine in
   let u = Engine.unify_stats t.engine in
   let r = Engine.relevance_stats t.engine in
   let shared_hits, shared_misses = Engine.shared_scan_stats t.engine in
@@ -111,6 +112,13 @@ let stats t =
     ("batch-retried", i b.Engine.retried_batches);
     ("batch-serial", i b.Engine.serial_batches);
     ("snapshot-age", i a.Admission.s_snapshot_age);
+    ("delta-eligible", i d.Engine.eligible_plans);
+    ("delta-fallback", i d.Engine.fallback_plans);
+    ("delta-bases", i d.Engine.delta_bases);
+    ("delta-evals", i d.Engine.delta_evals);
+    ("full-evals", i d.Engine.full_evals);
+    ("delta-agg-groups", i d.Engine.agg_groups);
+    ("delta-agg-rebuilds", i d.Engine.agg_rebuilds);
     ("unify-registered", i u.Engine.unify_registered);
     ("unify-active", i u.Engine.unify_active);
     ("unify-groups", i u.Engine.unify_groups);

@@ -29,7 +29,9 @@ val port : t -> int
 
 (** Server counters as the (key, value) pairs of the STATS reply:
     sessions, admission/batch counters, batch-size histogram, snapshot
-    age, group-commit fsyncs, WAL records. *)
+    age, incremental-evaluation counters (eligible/fallback plans,
+    bases, delta vs full evals, carried aggregate groups and rebuilds),
+    group-commit fsyncs, WAL records. *)
 val stats : t -> (string * string) list
 
 (** Stop accepting, close every connection, drain the admission queue

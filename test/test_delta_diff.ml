@@ -33,9 +33,12 @@ let queries =
     "SELECT d.v FROM data d, data e WHERE d.k = e.k AND e.v = 'b'";
   |]
 
-(* A mix of delta-eligible SPJ policies (constant projections over log /
-   plain scans) and fallback shapes (clock references, HAVING): both
-   paths must agree with full evaluation under every interleaving. *)
+(* A mix of every delta branch kind — SPJ (constant projections over
+   log / plain scans), residual (clock tick-windows, with and without
+   aggregates) and carried-state aggregates (GROUP BY / HAVING over log
+   slots, including MIN/MAX and DISTINCT) — plus the occasional
+   still-ineligible shape: all paths must agree with full evaluation
+   under every interleaving. *)
 let templates =
   [|
     "SELECT DISTINCT 'uid 2 blocked' FROM users u WHERE u.uid = 2";
@@ -46,6 +49,14 @@ let templates =
      'data' AND s.ts > c.ts - 5 HAVING COUNT(DISTINCT s.icid) > 1";
     "SELECT DISTINCT 'provenance touch' FROM provenance p, banned b WHERE \
      p.irid = 'data' AND p.itid = b.uid";
+    "SELECT DISTINCT 'uid 2 over quota' FROM users u WHERE u.uid = 2 GROUP \
+     BY u.uid HAVING COUNT(*) > 2";
+    "SELECT DISTINCT 'banned pair' FROM users u, banned b WHERE u.uid = \
+     b.uid GROUP BY b.uid HAVING COUNT(*) > 1";
+    "SELECT DISTINCT 'uid 3 spread' FROM users u WHERE u.uid = 3 GROUP BY \
+     u.uid HAVING MAX(u.ts) - MIN(u.ts) > 4 AND COUNT(*) > 2";
+    "SELECT DISTINCT 'distinct ticks' FROM users u GROUP BY u.uid HAVING \
+     COUNT(DISTINCT u.ts) > 5";
   |]
 
 (* DDL invalidates delta bases through the catalog generation. Repeats
@@ -61,21 +72,25 @@ let ddls =
 
 (* Plain-table DML invalidates through per-table version counters: the
    [banned] mutations flip template 1 between accepting and rejecting,
-   so a missed invalidation changes a decision and fails the diff. *)
+   so a missed invalidation changes a decision and fails the diff. The
+   [users] delete is log DML — it must invalidate carried aggregate
+   state ([ver_del]) or the COUNT templates keep counting ghost rows. *)
 let mutations =
   [|
     "INSERT INTO banned VALUES (2)";
     "DELETE FROM banned WHERE uid = 2";
     "UPDATE data SET v = 'z' WHERE k = 2";
     "INSERT INTO data VALUES (9, 'i')";
+    "DELETE FROM users WHERE uid = 2";
   |]
 
 type script = {
   strategy : Engine.strategy;
   ti : bool;
       (** TI rewriting adds a clock atom to time-independent policies,
-          which makes them delta-ineligible — varying it steers the
-          property between mostly-delta and mostly-fallback evaluation *)
+          which moves them from the SPJ/aggregate branches onto the
+          residual one — varying it steers the property across the
+          branch kinds *)
   unification : bool;
   compaction : bool;
   preemptive : bool;
@@ -260,8 +275,10 @@ let prop_delta_full_identical =
 
 (* TI rewriting is the offline optimization for time-independent
    policies (it already restricts them to the increment, via a clock
-   atom that makes them delta-ineligible); these pins turn it off so the
-   simple SPJ templates stay in delta's jurisdiction. *)
+   atom that moves them onto the residual branch); these pins turn it
+   off so each template exercises the branch kind named in the pin —
+   SPJ for the plain templates, carried-state aggregate for the GROUP
+   BY/HAVING ones. *)
 (* [delta] is pinned on (not inherited from DL_DELTA): these cases test
    the delta machinery itself and must assert under either env value.
    The relevance index is pinned off: it proves these simple templates
@@ -313,13 +330,122 @@ let test_delta_detects_violation () =
     Alcotest.(check string) "message" "uid 2 blocked" m
   | _ -> Alcotest.fail "uid 2 must be rejected"
 
-let test_clock_policy_falls_back () =
+let submit_ok engine ~uid what =
+  match Engine.submit engine ~uid "SELECT v FROM data WHERE k = 1" with
+  | Engine.Accepted _ -> ()
+  | Engine.Rejected (ms, _) ->
+    Alcotest.failf "%s must pass, got [%s]" what (String.concat "; " ms)
+
+let test_clock_policy_rides_residual () =
   let _, engine = make_engine () in
   ignore (Engine.add_policy engine ~name:"quota" templates.(2));
-  ignore (Engine.submit engine ~uid:1 "SELECT v FROM data WHERE k = 1");
+  submit_ok engine ~uid:1 "first";
+  submit_ok engine ~uid:1 "second";
   let d = Engine.delta_stats engine in
-  Alcotest.(check int) "no eligible plan" 0 d.Engine.eligible_plans;
-  Alcotest.(check int) "one fallback plan" 1 d.Engine.fallback_plans
+  Alcotest.(check int) "one eligible plan" 1 d.Engine.eligible_plans;
+  Alcotest.(check int) "no fallback plans" 0 d.Engine.fallback_plans;
+  (* Residual branches recompute exactly and need no base, so even the
+     very first evaluation rides the delta path. *)
+  Alcotest.(check int) "zero full evals" 0 d.Engine.full_evals;
+  Alcotest.(check bool) "delta evals happened" true (d.Engine.delta_evals >= 2);
+  (* Third distinct tick inside the 4-tick window trips the quota, and
+     the verdict must come from the residual plan (no full eval). *)
+  (match Engine.submit engine ~uid:1 "SELECT v FROM data WHERE k = 1" with
+  | Engine.Rejected ([ m ], _) -> Alcotest.(check string) "message" "quota uid 1" m
+  | _ -> Alcotest.fail "third submission must be rejected");
+  let d = Engine.delta_stats engine in
+  Alcotest.(check int) "still zero full evals" 0 d.Engine.full_evals
+
+let test_agg_policy_carries_state () =
+  let _, engine = make_engine () in
+  ignore (Engine.add_policy engine ~name:"quota2" templates.(5));
+  submit_ok engine ~uid:1 "warm-up";
+  let warm = (Engine.delta_stats engine).Engine.full_evals in
+  submit_ok engine ~uid:1 "uid 1 again";
+  submit_ok engine ~uid:2 "uid 2 first";
+  submit_ok engine ~uid:2 "uid 2 second";
+  let d = Engine.delta_stats engine in
+  Alcotest.(check int) "one eligible plan" 1 d.Engine.eligible_plans;
+  Alcotest.(check int) "steady state adds no full evals" warm d.Engine.full_evals;
+  (* Only the uid-2 submissions reach [delta_try]: while uid 2 has no
+     rows, interleaved partial checks prune the policy first (bumping
+     neither counter). *)
+  Alcotest.(check bool) "delta evals happened" true (d.Engine.delta_evals >= 2);
+  Alcotest.(check bool) "groups are carried" true (d.Engine.agg_groups >= 1);
+  (* The third uid-2 row pushes the count past 2 — caught from carried
+     state plus the increment alone. *)
+  (match Engine.submit engine ~uid:2 "SELECT v FROM data WHERE k = 1" with
+  | Engine.Rejected ([ m ], _) ->
+    Alcotest.(check string) "message" "uid 2 over quota" m
+  | _ -> Alcotest.fail "third uid-2 submission must be rejected");
+  (* The rejected increment was rolled back and must NOT have been
+     folded into the carried groups: the next one still counts 2+1. *)
+  (match Engine.submit engine ~uid:2 "SELECT v FROM data WHERE k = 1" with
+  | Engine.Rejected ([ m ], _) ->
+    Alcotest.(check string) "message again" "uid 2 over quota" m
+  | _ -> Alcotest.fail "fourth uid-2 submission must be rejected");
+  submit_ok engine ~uid:1 "uid 1 unaffected";
+  let d = Engine.delta_stats engine in
+  Alcotest.(check int) "verdicts came from the delta path" warm
+    d.Engine.full_evals
+
+let test_min_max_aggregate_on_delta_path () =
+  let _, engine = make_engine () in
+  ignore (Engine.add_policy engine ~name:"spread" templates.(7));
+  submit_ok engine ~uid:3 "t1";
+  let warm = (Engine.delta_stats engine).Engine.full_evals in
+  submit_ok engine ~uid:3 "t2";
+  submit_ok engine ~uid:1 "t3";
+  submit_ok engine ~uid:1 "t4";
+  submit_ok engine ~uid:1 "t5";
+  (* Ticks 1..6: uid 3's third row at tick 6 makes MAX-MIN = 5 > 4 with
+     COUNT 3 > 2. *)
+  (match Engine.submit engine ~uid:3 "SELECT v FROM data WHERE k = 1" with
+  | Engine.Rejected ([ m ], _) -> Alcotest.(check string) "message" "uid 3 spread" m
+  | _ -> Alcotest.fail "tick-6 submission must be rejected");
+  let d = Engine.delta_stats engine in
+  Alcotest.(check int) "steady state adds no full evals" warm d.Engine.full_evals
+
+(* The Table-2 workload policies (P1–P6): every one must classify onto
+   some delta branch under the default configuration, and a steady
+   accepted stream must add no full evaluations after the first
+   (base-establishing) submission — the ISSUE's 100%-coverage check.
+   Relevance is pinned off and the strategy serial so every policy
+   actually reaches [delta_try] on every submission (a relevance skip or
+   an interleaved partial-prune bumps neither counter and would
+   vacuously pass the zero-full pin). *)
+let test_table2_policies_all_on_delta_path () =
+  let config =
+    {
+      Engine.default_config with
+      Engine.domains = 1;
+      Engine.strategy = Engine.Serial;
+      delta = true;
+      relevance = false;
+    }
+  in
+  let s = Workload.Runner.make ~config () in
+  let engine = s.Workload.Runner.engine in
+  let sql = "SELECT subject_id FROM d_patients WHERE subject_id = 1" in
+  (match Engine.submit engine ~uid:2 sql with
+  | Engine.Accepted _ -> ()
+  | Engine.Rejected (ms, _) ->
+    Alcotest.failf "warm-up must pass, got [%s]" (String.concat "; " ms));
+  let d0 = Engine.delta_stats engine in
+  Alcotest.(check int) "all six policies eligible" 6 d0.Engine.eligible_plans;
+  Alcotest.(check int) "no fallback plans" 0 d0.Engine.fallback_plans;
+  for i = 1 to 5 do
+    match Engine.submit engine ~uid:2 sql with
+    | Engine.Accepted _ -> ()
+    | Engine.Rejected (ms, _) ->
+      Alcotest.failf "steady submission %d must pass, got [%s]" i
+        (String.concat "; " ms)
+  done;
+  let d = Engine.delta_stats engine in
+  Alcotest.(check int) "zero full evals on the steady stream"
+    d0.Engine.full_evals d.Engine.full_evals;
+  Alcotest.(check bool) "delta evals cover the stream" true
+    (d.Engine.delta_evals >= d0.Engine.delta_evals + 30)
 
 let test_plain_mutation_invalidates () =
   let db, engine = make_engine () in
@@ -367,16 +493,110 @@ let test_delta_off_counts_nothing () =
   Alcotest.(check int) "no bases when off" 0 d.Engine.delta_bases;
   Alcotest.(check int) "no delta evals when off" 0 d.Engine.delta_evals
 
+(* Delta × unification interplay (the ISSUE satellite): a family of
+   member policies identical up to literals unifies into one aggregate
+   template joining the generated constants table and grouping by the
+   constants — so one carried group state, keyed by [dl_consts] rows,
+   serves every member. Pinned two ways: the unified engine rides the
+   aggregate delta path at 10k members, and a 4-way cross (unification ×
+   delta) decides a mixed stream bit-identically. *)
+
+let agg_member uid =
+  Printf.sprintf
+    "SELECT DISTINCT 'uid %d agg quota' FROM users u WHERE u.uid = %d GROUP \
+     BY u.uid HAVING COUNT(*) > 2"
+    uid uid
+
+let unified_cfg ~unification ~delta =
+  {
+    Engine.default_config with
+    Engine.domains = 1;
+    time_independent = false;
+    relevance = false;
+    unification;
+    delta;
+  }
+
+let test_unified_aggregate_shares_group_state () =
+  let _, engine =
+    make_engine ~config:(unified_cfg ~unification:true ~delta:true) ()
+  in
+  let n = 10_000 in
+  for i = 1 to n do
+    ignore (Engine.add_policy engine ~name:(Printf.sprintf "q%d" i) (agg_member i))
+  done;
+  submit_ok engine ~uid:1 "warm-up";
+  let u = Engine.unify_stats engine in
+  Alcotest.(check int) "all members absorbed" n u.Engine.unify_members;
+  Alcotest.(check int) "one active policy" 1 u.Engine.unify_active;
+  let warm = (Engine.delta_stats engine).Engine.full_evals in
+  submit_ok engine ~uid:1 "second";
+  submit_ok engine ~uid:7 "uid 7 first";
+  submit_ok engine ~uid:7 "uid 7 second";
+  (match Engine.submit engine ~uid:7 "SELECT v FROM data WHERE k = 1" with
+  | Engine.Rejected ([ m ], _) ->
+    Alcotest.(check string) "firing member's message" "uid 7 agg quota" m
+  | _ -> Alcotest.fail "uid 7's third submission must be rejected");
+  let d = Engine.delta_stats engine in
+  Alcotest.(check int) "unified template is the one eligible plan" 1
+    d.Engine.eligible_plans;
+  Alcotest.(check int) "steady stream adds no full evals" warm
+    d.Engine.full_evals;
+  Alcotest.(check bool) "member groups share the carried state" true
+    (d.Engine.agg_groups >= 2)
+
+let test_unified_aggregate_cross_differential () =
+  let uids = List.init 40 (fun i -> i + 1) in
+  let stream =
+    [ (5, "a"); (50, "b"); (5, "c"); (5, "d"); (5, "e"); (12, "f"); (50, "g") ]
+  in
+  let run ~unification ~delta =
+    let _, engine = make_engine ~config:(unified_cfg ~unification ~delta) () in
+    List.iter
+      (fun uid ->
+        ignore
+          (Engine.add_policy engine ~name:(Printf.sprintf "x%d" uid)
+             (agg_member uid)))
+      uids;
+    List.map
+      (fun (uid, tag) ->
+        match Engine.submit engine ~uid "SELECT v FROM data WHERE k = 1" with
+        | Engine.Accepted (r, _) ->
+          Printf.sprintf "%s:ok[%s]" tag
+            (String.concat ";" (List.map render_row r.Executor.out_rows))
+        | Engine.Rejected (ms, _) ->
+          Printf.sprintf "%s:REJ[%s]" tag (String.concat ";" ms))
+      stream
+  in
+  let reference = run ~unification:false ~delta:false in
+  List.iter
+    (fun (unification, delta) ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "unify=%b delta=%b agrees" unification delta)
+        reference
+        (run ~unification ~delta))
+    [ (false, true); (true, false); (true, true) ]
+
 let suite =
   [
     tc "delta path actually runs on an eligible policy" test_delta_path_runs;
     tc "delta evaluation catches the violating increment"
       test_delta_detects_violation;
-    tc "clock/HAVING policies fall back to full evaluation"
-      test_clock_policy_falls_back;
+    tc "clock/HAVING policies ride the residual branch"
+      test_clock_policy_rides_residual;
+    tc "aggregate policies carry group state across submissions"
+      test_agg_policy_carries_state;
+    tc "MIN/MAX aggregates stay on the delta path"
+      test_min_max_aggregate_on_delta_path;
+    tc "Table-2 workload policies all classify onto delta branches"
+      test_table2_policies_all_on_delta_path;
     tc "plain-table mutation invalidates the base" test_plain_mutation_invalidates;
     tc "time-dependent join is eligible under the default config"
       test_time_dependent_join_eligible_under_defaults;
     tc "delta off establishes and evaluates nothing" test_delta_off_counts_nothing;
+    tc "unified aggregate members share one carried group state"
+      test_unified_aggregate_shares_group_state;
+    tc "unification x delta cross decides identically"
+      test_unified_aggregate_cross_differential;
   ]
   @ List.map QCheck_alcotest.to_alcotest [ prop_delta_full_identical ]

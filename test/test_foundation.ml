@@ -152,7 +152,10 @@ let test_workload_runtimes_ordered () =
   let time name =
     let q = Workload.Runner.query s name in
     ignore (Workload.Runner.plain_query_time s ~n:1 q);
-    Workload.Runner.plain_query_time s ~n:3 q
+    (* Min of three samples: robust against a scheduler hiccup landing
+       inside one sample and flipping the sub-millisecond W1/W2 order. *)
+    List.fold_left min infinity
+      (List.init 3 (fun _ -> Workload.Runner.plain_query_time s ~n:3 q))
   in
   let t1 = time "W1" and t2 = time "W2" and t3 = time "W3" and t4 = time "W4" in
   Alcotest.(check bool)
