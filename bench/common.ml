@@ -70,6 +70,40 @@ let f1 x = Printf.sprintf "%.1f" x
 let f2 x = Printf.sprintf "%.2f" x
 let f3 x = Printf.sprintf "%.3f" x
 
+(* Measurement with allocation ----------------------------------------- *)
+
+(* Per-iteration wall time and GC allocation. [minor_words] is the young
+   generation only: OCaml allocates arrays above the young size limit
+   straight on the major heap, so this isolates exactly the per-row
+   boxing the typed kernels are meant to eliminate (big result buffers
+   don't drown the signal). [promoted_words] counts what survived into
+   the major heap. *)
+type meas = { us : float; minor_words : float; promoted_words : float }
+
+let measure ~iters f =
+  (* Settle the GC first: dead garbage from a previous case otherwise
+     smears collection work (and its stat accounting) into this window. *)
+  Gc.full_major ();
+  let g0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let g1 = Gc.quick_stat () in
+  let n = float_of_int iters in
+  {
+    us = dt /. n *. 1e6;
+    minor_words = (g1.Gc.minor_words -. g0.Gc.minor_words) /. n;
+    promoted_words = (g1.Gc.promoted_words -. g0.Gc.promoted_words) /. n;
+  }
+
+(* "123", "4.5k", "6.7M" — words per iteration, compact. *)
+let words w =
+  if w >= 1e6 then Printf.sprintf "%.1fMw" (w /. 1e6)
+  else if w >= 1e3 then Printf.sprintf "%.1fkw" (w /. 1e3)
+  else Printf.sprintf "%.0fw" w
+
 (* Run one warm stream and return the stats of the last [k] queries
    (the "stabilized" regime the paper reports for DataLawyer). *)
 let stable_stats s ~uid ~n ~last q =

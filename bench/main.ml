@@ -14,6 +14,7 @@ let experiments =
     ("ablate", Ablate.run);
     ("persist", Persist.run);
     ("micro", fun _ -> Micro.run ());
+    ("typedcols", fun _ -> Micro.typed_columns_case ());
     ("load", Load.run);
     ("scale", Scale.run);
   ]

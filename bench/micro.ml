@@ -126,11 +126,7 @@ let index_case () =
   let time_exec q =
     let c = Executor.prepare cat q in
     ignore (Executor.run_compiled c);
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to iters do
-      ignore (Executor.run_compiled c)
-    done;
-    (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e6
+    (Common.measure ~iters (fun () -> ignore (Executor.run_compiled c))).Common.us
   in
   let heap_eq = time_exec eq_q in
   let heap_range = time_exec range_q in
@@ -305,24 +301,27 @@ let delta_case () =
        base — the measured submissions then only scan their increments *)
     warm_submit engine;
     let total = ref 0. in
-    for _ = 1 to iters do
-      let st =
-        Engine.stats_of (Engine.submit engine ~uid:1 "SELECT v FROM data WHERE k = 1")
-      in
-      total := !total +. st.Stats.policy_eval
-    done;
-    !total /. float_of_int iters *. 1e6
+    let m =
+      Common.measure ~iters (fun () ->
+          let st =
+            Engine.stats_of
+              (Engine.submit engine ~uid:1 "SELECT v FROM data WHERE k = 1")
+          in
+          total := !total +. st.Stats.policy_eval)
+    in
+    (!total /. float_of_int iters *. 1e6, m.Common.minor_words)
   in
   let speedup_at_largest = ref 0. in
   List.iter
     (fun n ->
-      let full = run_with ~delta:false ~n in
-      let delta = run_with ~delta:true ~n in
+      let full, full_mw = run_with ~delta:false ~n in
+      let delta, delta_mw = run_with ~delta:true ~n in
       let sp = full /. delta in
       speedup_at_largest := sp;
       Printf.printf
-        "%6d log rows: full %.1f us, delta %.1f us per submission (%.1fx)\n" n
-        full delta sp)
+        "%6d log rows: full %.1f us (%s), delta %.1f us (%s) per submission \
+         (%.1fx)\n"
+        n full (Common.words full_mw) delta (Common.words delta_mw) sp)
     sizes;
   let floor = if smoke then 2.0 else 3.0 in
   if !speedup_at_largest < floor then begin
@@ -382,13 +381,14 @@ let delta_agg_case () =
        group state and establishes the first base *)
     warm_submit engine;
     let total = ref 0. in
-    for _ = 1 to iters do
-      let st =
-        Engine.stats_of
-          (Engine.submit engine ~uid:1 "SELECT v FROM data WHERE k = 1")
-      in
-      total := !total +. st.Stats.policy_eval
-    done;
+    let m =
+      Common.measure ~iters (fun () ->
+          let st =
+            Engine.stats_of
+              (Engine.submit engine ~uid:1 "SELECT v FROM data WHERE k = 1")
+          in
+          total := !total +. st.Stats.policy_eval)
+    in
     (if delta then
        let d = Engine.delta_stats engine in
        if d.Engine.full_evals > 1 then begin
@@ -397,18 +397,19 @@ let delta_agg_case () =
            d.Engine.full_evals;
          exit 1
        end);
-    !total /. float_of_int iters *. 1e6
+    (!total /. float_of_int iters *. 1e6, m.Common.minor_words)
   in
   let speedup_at_largest = ref 0. in
   List.iter
     (fun n ->
-      let full = run_with ~delta:false ~n in
-      let delta = run_with ~delta:true ~n in
+      let full, full_mw = run_with ~delta:false ~n in
+      let delta, delta_mw = run_with ~delta:true ~n in
       let sp = full /. delta in
       speedup_at_largest := sp;
       Printf.printf
-        "%6d log rows: full %.1f us, delta %.1f us per submission (%.1fx)\n" n
-        full delta sp)
+        "%6d log rows: full %.1f us (%s), delta %.1f us (%s) per submission \
+         (%.1fx)\n"
+        n full (Common.words full_mw) delta (Common.words delta_mw) sp)
     sizes;
   if !speedup_at_largest < 10.0 then begin
     Printf.printf
@@ -470,25 +471,27 @@ let vectorized_case () =
         ];
     warm_submit engine;
     let total = ref 0. in
-    for _ = 1 to iters do
-      let st =
-        Engine.stats_of
-          (Engine.submit engine ~uid:1 "SELECT v FROM data WHERE k = 1")
-      in
-      total := !total +. st.Stats.policy_eval
-    done;
-    !total /. float_of_int iters *. 1e6
+    let m =
+      Common.measure ~iters (fun () ->
+          let st =
+            Engine.stats_of
+              (Engine.submit engine ~uid:1 "SELECT v FROM data WHERE k = 1")
+          in
+          total := !total +. st.Stats.policy_eval)
+    in
+    (!total /. float_of_int iters *. 1e6, m.Common.minor_words)
   in
   let speedup_at_largest = ref 0. in
   List.iter
     (fun n ->
-      let row = run_with ~vectorized:false ~n in
-      let vec = run_with ~vectorized:true ~n in
+      let row, row_mw = run_with ~vectorized:false ~n in
+      let vec, vec_mw = run_with ~vectorized:true ~n in
       let sp = row /. vec in
       speedup_at_largest := sp;
       Printf.printf
-        "%6d log rows: row %.1f us, vectorized %.1f us per submission (%.1fx)\n"
-        n row vec sp)
+        "%6d log rows: row %.1f us (%s), vectorized %.1f us (%s) per \
+         submission (%.1fx)\n"
+        n row (Common.words row_mw) vec (Common.words vec_mw) sp)
     sizes;
   let floor = if smoke then 2.0 else 5.0 in
   if !speedup_at_largest < floor then begin
@@ -498,6 +501,104 @@ let vectorized_case () =
       !speedup_at_largest floor;
     exit 1
   end
+
+(* Typed columns: the same batch pipeline over typed mirrors vs
+   force-Mixed mirrors (the boxed Value-array representation the typed
+   layouts replaced: boxed comparisons, Value-hashed joins and groups) —
+   the ISSUE 10 acceptance measurement. Typed passes compare unboxed
+   ints and dictionary codes and key joins / groups on raw ints, so both
+   time and minor-heap allocation drop; the 1.5x time floor gates every
+   case and the 5x minor-words floor gates the filter and join cases
+   (where per-row boxing dominates the boxed side). Queries are
+   violation-free shapes (empty or near-empty results), the engine's
+   common case, so output materialization doesn't mask the kernels. *)
+let typed_columns_case () =
+  Common.header "Typed columns: unboxed kernels vs boxed (Mixed) mirrors";
+  let open Relational in
+  let smoke = !Common.smoke in
+  let n_rows = if smoke then 20_000 else 100_000 in
+  let iters = if smoke then 15 else 40 in
+  let ops = [| "read"; "write"; "delete"; "share" |] in
+  let build () =
+    let cat = Catalog.create () in
+    let usage =
+      Catalog.create_table cat ~name:"usage"
+        ~schema:
+          (Schema.make [ ("ts", Ty.Int); ("uid", Ty.Int); ("op", Ty.Text) ])
+    in
+    ignore (Table.enable_columnar usage);
+    let banned =
+      Catalog.create_table cat ~name:"banned"
+        ~schema:(Schema.make [ ("uid", Ty.Int) ])
+    in
+    ignore (Table.enable_columnar banned);
+    for i = 0 to n_rows - 1 do
+      (* 'export' is rare (~1/1000) so the string-filter case measures
+         the predicate pass, not output materialization *)
+      let op = if i mod 997 = 0 then "export" else ops.(i mod 4) in
+      ignore
+        (Table.insert usage
+           [| Value.Int i; Value.Int (i mod 997); Value.Str op |])
+    done;
+    (* no banned uid ever appears in usage: the violation-free case *)
+    for j = 1 to 97 do
+      ignore (Table.insert banned [| Value.Int (1000 + j) |])
+    done;
+    cat
+  in
+  let cases =
+    [
+      ("filter: uid = k", "SELECT ts FROM usage WHERE uid = 123", true);
+      ("filter: op = 'export'", "SELECT ts FROM usage WHERE op = 'export'", false);
+      ( "join: usage x banned on uid",
+        "SELECT u.ts FROM usage u, banned b WHERE u.uid = b.uid",
+        true );
+      ( "group: SUM(ts) by uid",
+        "SELECT 'big' FROM usage GROUP BY uid HAVING SUM(ts) > 1000000000000",
+        false );
+    ]
+  in
+  let run_cases () =
+    let cat = build () in
+    List.map
+      (fun (name, sql, gate) ->
+        let c = Executor.prepare ~vectorized:true cat (Parser.query sql) in
+        ignore (Executor.run_compiled c);
+        ( name,
+          gate,
+          Common.measure ~iters (fun () -> ignore (Executor.run_compiled c)) ))
+      cases
+  in
+  Column.force_mixed := true;
+  let boxed = run_cases () in
+  Column.force_mixed := false;
+  let typed = run_cases () in
+  let failed = ref false in
+  List.iter2
+    (fun (name, gate_alloc, bm) (_, _, tm) ->
+      let sp = bm.Common.us /. tm.Common.us in
+      let ar = bm.Common.minor_words /. Float.max tm.Common.minor_words 1.0 in
+      Printf.printf
+        "%-28s boxed %8.1f us %8s | typed %8.1f us %8s | %.1fx time, %.0fx \
+         alloc\n"
+        name bm.Common.us
+        (Common.words bm.Common.minor_words)
+        tm.Common.us
+        (Common.words tm.Common.minor_words)
+        sp ar;
+      if sp < 1.5 then begin
+        Printf.printf "FAIL: %s typed speedup %.2fx is below the 1.5x floor\n"
+          name sp;
+        failed := true
+      end;
+      if gate_alloc && ar < 5.0 then begin
+        Printf.printf
+          "FAIL: %s typed allocation improvement %.1fx is below the 5x floor\n"
+          name ar;
+        failed := true
+      end)
+    boxed typed;
+  if !failed then exit 1
 
 let bechamel_case () =
   Common.header "Micro-benchmarks (Bechamel)";
@@ -531,6 +632,7 @@ let run () =
   delta_case ();
   delta_agg_case ();
   vectorized_case ();
+  typed_columns_case ();
   (* Smoke mode stops at the regression gates: the Bechamel sweep and
      the plan-cache comparison are measurements, not assertions. *)
   if not !Common.smoke then begin

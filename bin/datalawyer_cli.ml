@@ -238,6 +238,10 @@ let run_repl noopt no_policies domains delta persist_dir persist_fsync serve
                       (Array.mapi
                          (fun k n -> Printf.sprintf "%s: %d" labels.(k) n)
                          v.Engine.vec_hist))));
+           Printf.printf
+             "  column layout: %d typed, %d mixed, %d dictionary entries\n"
+             v.Engine.vec_typed_cols v.Engine.vec_mixed_cols
+             v.Engine.vec_dict_entries;
            let b = Engine.batch_stats engine in
            Printf.printf
              "  admission batches: %d fast, %d retried, %d serial (%d batched \

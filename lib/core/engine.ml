@@ -1001,17 +1001,35 @@ type vector_stats = {
   vec_fallbacks : int;  (** subtree compilations routed back to rows *)
   vec_hist : int array;
       (** rows-per-batch histogram: < 16, < 256, < 4096, < 65536, rest *)
+  vec_typed_cols : int;  (** mirror columns on a typed unboxed layout *)
+  vec_mixed_cols : int;  (** mirror columns demoted to boxed Mixed *)
+  vec_dict_entries : int;  (** interned strings across TEXT dictionaries *)
 }
 
 (* Process-wide (the compilers' counters are shared across engines, like
-   [Executor.rows_examined]); [vec_enabled] is this engine's config. *)
+   [Executor.rows_examined]); [vec_enabled] is this engine's config, and
+   the layout census walks this engine's columnar mirrors. *)
 let vector_stats t : vector_stats =
+  let typed, mixed, dict_entries =
+    let cat = Database.catalog t.db in
+    List.fold_left
+      (fun (ty, mx, de) name ->
+        match Table.columnar (Catalog.find cat name) with
+        | None -> (ty, mx, de)
+        | Some store ->
+          let t', m', d' = Column.layout_stats store in
+          (ty + t', mx + m', de + d'))
+      (0, 0, 0) (Catalog.table_names cat)
+  in
   {
     vec_enabled = t.config.vectorized;
     vec_batches = Atomic.get Compile_batch.batches_built;
     vec_rows = Atomic.get Compile_batch.batch_rows;
     vec_fallbacks = Atomic.get Compile_batch.row_fallbacks;
     vec_hist = Compile_batch.hist_snapshot ();
+    vec_typed_cols = typed;
+    vec_mixed_cols = mixed;
+    vec_dict_entries = dict_entries;
   }
 
 type unify_stats = {

@@ -222,11 +222,16 @@ type vector_stats = {
   vec_fallbacks : int;  (** subtree compilations routed back to rows *)
   vec_hist : int array;
       (** rows-per-batch histogram: < 16, < 256, < 4096, < 65536, rest *)
+  vec_typed_cols : int;  (** mirror columns on a typed unboxed layout *)
+  vec_mixed_cols : int;  (** mirror columns demoted to boxed Mixed *)
+  vec_dict_entries : int;  (** interned strings across TEXT dictionaries *)
 }
 
 (** Vectorized-executor counters. The counters are process-wide (the
     compilers are shared, like {!Relational.Executor.rows_examined});
-    [vec_enabled] reflects this engine's configuration. *)
+    [vec_enabled] reflects this engine's configuration, and the layout
+    census (typed / Mixed columns, dictionary entries) walks this
+    engine's columnar mirrors. *)
 val vector_stats : t -> vector_stats
 
 (** Unification shape of the current offline plan. *)

@@ -12,10 +12,23 @@ module VSet = Set.Make (struct
   let compare = Value.compare
 end)
 
+(* DISTINCT folds straight into the set (no intermediate pre-dedup
+   list); [VSet.elements]' sorted order is observable through
+   fold-sensitive aggregates (float SUM/AVG), so the set must stay. *)
 let arg_values ~distinct eval_arg rows =
-  let vals = List.filter_map (fun r -> let v = eval_arg r in
-                               if Value.is_null v then None else Some v) rows in
-  if distinct then VSet.elements (VSet.of_list vals) else vals
+  if distinct then
+    VSet.elements
+      (List.fold_left
+         (fun s r ->
+           let v = eval_arg r in
+           if Value.is_null v then s else VSet.add v s)
+         VSet.empty rows)
+  else
+    List.filter_map
+      (fun r ->
+        let v = eval_arg r in
+        if Value.is_null v then None else Some v)
+      rows
 
 (* One step of the running SUM fold, exposed so incremental accumulators
    ({!Incremental.Delta_store}) reproduce batch SUM semantics exactly. *)

@@ -191,6 +191,12 @@ and compile_fn name args : cexpr =
 
 (* Operators -------------------------------------------------------------- *)
 
+(* Grouping / DISTINCT / UNION / hash-join tables key on value arrays
+   directly ({!Value.Key}: elementwise [Value.equal] with a compatible
+   hash) instead of building a canonical key string per row — same
+   equality, no per-row string allocation. *)
+module KTbl = Hashtbl.Make (Value.Key)
+
 type t = { cols : string array; exec : unit -> arow list }
 
 let concat_rows (a : arow) (b : arow) =
@@ -229,22 +235,21 @@ let compile_produce (f : Plan.finish) : arow list -> (arow * Value.t array) list
         let group_list =
           if not grouped then [ List.rev rows ]
           else begin
-            let groups : (string, arow list ref) Hashtbl.t = Hashtbl.create 64 in
+            let groups : arow list ref KTbl.t = KTbl.create 64 in
             let order = ref [] in
             List.iter
               (fun r ->
                 let key =
-                  Value.canonical_key_of_array
-                    (Array.of_list (List.map (fun c -> c r.vals [||]) group_keys))
+                  Array.of_list (List.map (fun c -> c r.vals [||]) group_keys)
                 in
-                match Hashtbl.find_opt groups key with
+                match KTbl.find_opt groups key with
                 | Some cell -> cell := r :: !cell
                 | None ->
                   let cell = ref [ r ] in
-                  Hashtbl.add groups key cell;
-                  order := key :: !order)
+                  KTbl.add groups key cell;
+                  order := cell :: !order)
               rows;
-            List.rev_map (fun key -> List.rev !(Hashtbl.find groups key)) !order
+            List.rev_map (fun cell -> List.rev !cell) !order
           end
         in
         List.filter_map
@@ -325,15 +330,15 @@ let compile_finish_tail (f : Plan.finish) :
       | Plan.D_all -> outputs
       | Plan.D_distinct ->
         (* Duplicates are merged, not dropped: the surviving tuple's
-           lineage (and source tids) absorbs those of every duplicate. *)
-        let seen : (string, arow ref * (Value.t * Ast.order_dir) list) Hashtbl.t =
-          Hashtbl.create 64
+           lineage (and source tids) absorbs those of every duplicate.
+           The projected row itself is the key. *)
+        let seen : (arow ref * (Value.t * Ast.order_dir) list) KTbl.t =
+          KTbl.create 64
         in
         let order = ref [] in
         List.iter
           (fun ((r : arow), ok) ->
-            let key = Value.canonical_key_of_array r.vals in
-            match Hashtbl.find_opt seen key with
+            match KTbl.find_opt seen r.vals with
             | Some (kept, _) ->
               kept :=
                 {
@@ -343,23 +348,22 @@ let compile_finish_tail (f : Plan.finish) :
                 }
             | None ->
               let cell = ref r in
-              Hashtbl.add seen key (cell, ok);
+              KTbl.add seen r.vals (cell, ok);
               order := (cell, ok) :: !order)
           outputs;
         List.rev_map (fun (cell, ok) -> (!cell, ok)) !order
       | Plan.D_on _ ->
         (* Keys are evaluated in the input-row context of each produced
            row (witness queries are flat, non-aggregated selects). *)
-        let seen = Hashtbl.create 64 in
+        let seen : unit KTbl.t = KTbl.create 64 in
         List.filter_map
           (fun ((r, ok), (input : arow)) ->
             let kv =
               Array.of_list (List.map (fun c -> c input.vals [||]) dkeys)
             in
-            let key = Value.canonical_key_of_array kv in
-            if Hashtbl.mem seen key then None
+            if KTbl.mem seen kv then None
             else begin
-              Hashtbl.add seen key ();
+              KTbl.add seen kv ();
               Some (r, ok)
             end)
           (List.map2 (fun out (input, _) -> (out, input)) outputs produced)
@@ -409,12 +413,12 @@ let union_rows ~(all : bool) (lrows : arow list) (rrows : arow list) :
     arow list =
   if all then lrows @ rrows
   else begin
-    let seen : (string, arow ref) Hashtbl.t = Hashtbl.create 64 in
+    let seen : arow ref KTbl.t = KTbl.create 64 in
     let order = ref [] in
     List.iter
       (fun row ->
-        let key = Value.canonical_key_of_array row.vals in
-        match Hashtbl.find_opt seen key with
+        let key = row.vals in
+        match KTbl.find_opt seen key with
         | Some kept ->
           kept :=
             {
@@ -424,7 +428,7 @@ let union_rows ~(all : bool) (lrows : arow list) (rrows : arow list) :
             }
         | None ->
           let cell = ref row in
-          Hashtbl.add seen key cell;
+          KTbl.add seen key cell;
           order := cell :: !order)
       (lrows @ rrows);
     List.rev_map (fun c -> !c) !order
@@ -618,16 +622,17 @@ and compile_select (cat : Catalog.t) (shared : arow list Shared_cache.t option)
           let out = ref [] in
           (if keys <> [] then begin
              (* Hash join: build on the new slot, probe with the prefix.
-                [Hashtbl.add] + [find_all] reproduce the walker's
-                reverse-insertion match order. *)
-             let build = Hashtbl.create (max 16 (List.length !rows)) in
+                [KTbl.add] + [find_all] reproduce the walker's
+                reverse-insertion match order, keyed on the value tuples
+                themselves. *)
+             let build = KTbl.create (max 16 (List.length !rows)) in
              List.iter
                (fun (r : arow) ->
                  let kv =
                    Array.of_list
                      (List.map (fun (_, cb) -> cb r.vals [||]) keys)
                  in
-                 Hashtbl.add build (Value.canonical_key_of_array kv) (proj r))
+                 KTbl.add build kv (proj r))
                !rows;
              List.iter
                (fun (l : arow) ->
@@ -637,7 +642,7 @@ and compile_select (cat : Catalog.t) (shared : arow list Shared_cache.t option)
                  in
                  List.iter
                    (fun r -> out := concat_rows l r :: !out)
-                   (Hashtbl.find_all build (Value.canonical_key_of_array kv)))
+                   (KTbl.find_all build kv))
                !joined
            end
            else begin

@@ -1153,3 +1153,53 @@ let batch_route ~(lineage : bool) ~(track_src : bool) (q : Plan.query) :
       Plan.Route_union { left = route left; right = route right }
   in
   route q
+
+(* Kernel-shape analysis ---------------------------------------------------- *)
+
+(* Shape classification for the typed batch kernels ({!Compile_batch}).
+   Routing above is static per query; which kernel actually runs is
+   decided per execution from the column layouts the batch binds against
+   (a typed column can demote to Mixed between executions of a prepared
+   plan, so the batch compiler re-inspects views every time and the
+   Mixed/opaque shapes fall back to the boxed Value kernels). These
+   helpers pull the field/constant skeleton out of a predicate or join
+   key once, at compile time, so that per-execution dispatch is a view
+   inspection rather than an expression walk. *)
+
+type cmp_shape =
+  | Cmp_field_const of Ast.binop * int * Value.t
+      (** [field OP literal], constant side normalized to the right *)
+  | Cmp_field_field of Ast.binop * int * int  (** [field OP field] *)
+  | Cmp_opaque  (** anything else: evaluate through the scalar closure *)
+
+(* Mirror a comparison around the constant: [c OP f] is [f (flip OP) c]. *)
+let flip_cmp = function
+  | Ast.Lt -> Ast.Gt
+  | Ast.Gt -> Ast.Lt
+  | Ast.Le -> Ast.Ge
+  | Ast.Ge -> Ast.Le
+  | op -> op
+
+let cmp_shape (p : Plan.pexpr) : cmp_shape =
+  match p with
+  | Plan.Binop
+      ( ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op),
+        Plan.Field i,
+        Plan.Const v ) ->
+    Cmp_field_const (op, i, v)
+  | Plan.Binop
+      ( ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op),
+        Plan.Const v,
+        Plan.Field i ) ->
+    Cmp_field_const (flip_cmp op, i, v)
+  | Plan.Binop
+      ( ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op),
+        Plan.Field i,
+        Plan.Field j ) ->
+    Cmp_field_field (op, i, j)
+  | _ -> Cmp_opaque
+
+(* A join/group key that is a bare column reference, eligible for the
+   unboxed int/dictionary-code hash kernels. *)
+let key_field (p : Plan.pexpr) : int option =
+  match p with Plan.Field i -> Some i | _ -> None

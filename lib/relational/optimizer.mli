@@ -109,3 +109,25 @@ val derive_delta :
     adapter regardless of the route. *)
 val batch_route :
   lineage:bool -> track_src:bool -> Plan.query -> Plan.route
+
+(** {1 Kernel-shape analysis}
+
+    Compile-time skeletons for the typed batch kernels: routing is
+    static, but which kernel runs is re-decided per execution from the
+    column layouts the batch binds against (a typed column can demote to
+    Mixed between executions of a prepared plan). These classify the
+    field/constant shape once so per-execution dispatch is a view
+    inspection, with Mixed and opaque shapes falling back to the boxed
+    Value kernels. *)
+
+type cmp_shape =
+  | Cmp_field_const of Ast.binop * int * Value.t
+      (** [field OP literal], constant side normalized to the right *)
+  | Cmp_field_field of Ast.binop * int * int  (** [field OP field] *)
+  | Cmp_opaque  (** anything else: evaluate through the scalar closure *)
+
+val cmp_shape : Plan.pexpr -> cmp_shape
+
+(** The column index when the expression is a bare field reference —
+    a join/group key eligible for the unboxed hash kernels. *)
+val key_field : Plan.pexpr -> int option

@@ -143,7 +143,7 @@ let enable_columnar t =
   match t.columnar with
   | Some store -> store
   | None ->
-    let store = Column.create ~width:(Schema.arity t.schema) in
+    let store = Column.create ~schema:t.schema in
     Vec.iter
       (fun row -> Column.append store ~tid:(Row.tid row) (Row.cells row))
       t.rows;

@@ -113,6 +113,24 @@ let canonical_key = function
 let canonical_key_of_array (vs : t array) =
   String.concat "\x01" (Array.to_list (Array.map canonical_key vs))
 
+(* Hashed-module view of value tuples for DISTINCT / GROUP BY / hash-join
+   tables: elementwise {!equal} (so [Int 2] tuples match [Float 2.] ones
+   and NULLs group together) with a compatible combined hash. Keying
+   tables on the arrays directly replaces the per-row canonical-string
+   building the hot paths used to do. *)
+module Key = struct
+  type nonrec t = t array
+
+  let equal (a : t) (b : t) =
+    Array.length a = Array.length b
+    &&
+    let rec go i = i >= Array.length a || (equal a.(i) b.(i) && go (i + 1)) in
+    go 0
+
+  let hash (a : t) =
+    Array.fold_left (fun acc v -> (acc * 31) + hash v) 17 a
+end
+
 (* Numeric coercions used by the expression evaluator. *)
 let as_float = function
   | Int i -> Some (float_of_int i)

@@ -50,5 +50,16 @@ val canonical_key : t -> string
 (** {!canonical_key} of a tuple, with an unambiguous separator. *)
 val canonical_key_of_array : t array -> string
 
+(** Value tuples as [Hashtbl.Make]-ready keys: elementwise {!equal} with
+    a compatible hash. The DISTINCT / GROUP BY / hash-join tables key on
+    row arrays directly through this instead of building canonical key
+    strings per row. *)
+module Key : sig
+  type nonrec t = t array
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
 (** Numeric coercion to float; [None] for non-numeric values. *)
 val as_float : t -> float option

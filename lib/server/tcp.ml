@@ -134,6 +134,9 @@ let stats t =
     ("vector-rows", i v.Engine.vec_rows);
     ("vector-fallbacks", i v.Engine.vec_fallbacks);
     ("vector-hist", vhist);
+    ("vector-typed-cols", i v.Engine.vec_typed_cols);
+    ("vector-mixed-cols", i v.Engine.vec_mixed_cols);
+    ("vector-dict-entries", i v.Engine.vec_dict_entries);
     ("group-commit-fsyncs", i fsyncs);
     ("wal-records", i wal);
   ]

@@ -252,6 +252,123 @@ let vec_props =
         { Executor.lineage = false; track_src = true } );
     ]
 
+(* Typed-column generators ------------------------------------------------ *)
+
+(* Dictionary-string variant: both tables mirrored columnar with TEXT
+   join keys, so the same strings intern to different codes per table
+   and every equi-join crosses two distinct dictionaries. [hi] sets the
+   cardinality of the string alphabet: low (4) gives dense overlap
+   between the two dictionaries, high (40) makes most codes absent from
+   the other side — the remap's "matches nothing" case. A 0 draw
+   becomes NULL (code -1). *)
+let str_rows_gen hi =
+  QCheck.Gen.list_size (QCheck.Gen.int_range 0 20)
+    (QCheck.Gen.pair (QCheck.Gen.int_range 0 hi) (QCheck.Gen.int_range 0 5))
+
+let db_of_rows_str rows_r rows_s =
+  let db = Database.create () in
+  ignore
+    (Database.exec_script db
+       "CREATE TABLE r (a TEXT, b INT); CREATE TABLE s (a TEXT, c INT); \
+        CREATE INDEX ix_r_a ON r USING hash (a)");
+  let r = Database.table db "r" and s = Database.table db "s" in
+  ignore (Table.enable_columnar r);
+  ignore (Table.enable_columnar s);
+  let v = function 0 -> Value.Null | n -> Value.Str (Printf.sprintf "k%02d" n) in
+  List.iter (fun (a, b) -> ignore (Table.insert r [| v a; Value.Int b |])) rows_r;
+  List.iter (fun (a, c) -> ignore (Table.insert s [| v a; Value.Int c |])) rows_s;
+  db
+
+(* String predicates: constants drawn wider than the low-cardinality
+   alphabet, so Eq/Neq/ordering against a string no dictionary ever
+   interned occur regularly (the compile-time absent-code fast path). *)
+let str_query_gen : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let kc = map (fun n -> Printf.sprintf "'k%02d'" n) (int_range 1 45) in
+  let cmp = oneofl [ "="; "<"; "<="; ">"; ">="; "<>" ] in
+  oneof
+    [
+      map2
+        (fun op c -> Printf.sprintf "SELECT * FROM r WHERE r.a %s %s" op c)
+        cmp kc;
+      map
+        (fun c -> Printf.sprintf "SELECT DISTINCT a FROM r WHERE r.a <> %s" c)
+        kc;
+      map2
+        (fun op c ->
+          Printf.sprintf "SELECT r.b, s.c FROM r, s WHERE r.a = s.a AND s.c %s %d"
+            op c)
+        cmp (int_range (-2) 7);
+      return "SELECT r.b, s.a FROM r, s WHERE r.a = s.a";
+      map
+        (fun c ->
+          Printf.sprintf "SELECT r.b FROM r, s WHERE r.a = s.a AND r.a >= %s" c)
+        kc;
+      return "SELECT a, COUNT(*), SUM(b) FROM r GROUP BY a";
+      return "SELECT a FROM r UNION SELECT a FROM s";
+    ]
+
+let print_case (sql, r, s) =
+  let rows l =
+    String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) l)
+  in
+  Printf.sprintf "%s\n r=%s s=%s" sql (rows r) (rows s)
+
+let str_case_arb hi =
+  QCheck.make ~print:print_case
+    (QCheck.Gen.triple str_query_gen (str_rows_gen hi) (str_rows_gen hi))
+
+(* Mixed-type variant: the second column of each table is declared FLOAT
+   but receives [Value.Int] for even draws, demoting the typed float
+   column to the boxed Mixed fallback at runtime. The batch kernels must
+   route it through the same [Eval.compare_op] dispatch as the row path,
+   including Int/Float cross-type equality against the generator's
+   integer constants. Reuses the integer [query_gen] shapes. *)
+let db_of_rows_mixed rows_r rows_s =
+  let db = Database.create () in
+  ignore
+    (Database.exec_script db
+       "CREATE TABLE r (a INT, b FLOAT); CREATE TABLE s (a INT, c FLOAT); \
+        CREATE INDEX ix_r_a ON r USING hash (a); \
+        CREATE INDEX ix_r_b ON r USING sorted (b); \
+        CREATE INDEX ix_s_c ON s USING sorted (c)");
+  let r = Database.table db "r" and s = Database.table db "s" in
+  ignore (Table.enable_columnar r);
+  ignore (Table.enable_columnar s);
+  let v n = if n mod 2 = 0 then Value.Int n else Value.Float (float_of_int n) in
+  List.iter
+    (fun (a, b) -> ignore (Table.insert r [| Value.Int a; v b |]))
+    rows_r;
+  List.iter
+    (fun (a, c) -> ignore (Table.insert s [| Value.Int a; v c |]))
+    rows_s;
+  db
+
+let vec_typed_props =
+  let prop ~name arb mkdb opts =
+    QCheck.Test.make ~name ~count:500 arb (fun (sql, rows_r, rows_s) ->
+        let db = mkdb rows_r rows_s in
+        let cat = Database.catalog db in
+        let q = Parser.query sql in
+        let vec =
+          Executor.run_compiled (Executor.prepare ~opts ~vectorized:true cat q)
+        in
+        let row =
+          Executor.run_compiled (Executor.prepare ~opts ~vectorized:false cat q)
+        in
+        vec.Executor.columns = row.Executor.columns
+        && canon_exact vec.Executor.out_rows = canon_exact row.Executor.out_rows)
+  in
+  [
+    prop ~name:"vectorized = row path, exact (low-cardinality dict strings)"
+      (str_case_arb 4) db_of_rows_str
+      { Executor.lineage = false; track_src = true };
+    prop ~name:"vectorized = row path, exact (high-cardinality dict strings)"
+      (str_case_arb 40) db_of_rows_str Executor.default_opts;
+    prop ~name:"vectorized = row path, exact (Mixed demotion, INT into FLOAT)"
+      case_arb db_of_rows_mixed Executor.default_opts;
+  ]
+
 (* Adapter pins: deterministic cases for each row<->batch boundary. *)
 
 let check_vec_exact ?(opts = Executor.default_opts) db sql =
@@ -347,6 +464,128 @@ let test_vec_columnar_rollback_sync () =
   Alcotest.(check int) "tentative row visible" (n0 + 1) (count ());
   Table.rollback_to emp sp;
   Alcotest.(check int) "rollback truncates the mirror" n0 (count ())
+
+(* Cross-dictionary join remap: r and s are mirrored separately, so the
+   same strings intern to different codes in each table's dictionary,
+   and the probe side carries a string the build side never interned —
+   the absent-code case the remap must resolve to "matches nothing". *)
+let test_vec_cross_dict_join () =
+  let db = Database.create () in
+  ignore
+    (Database.exec_script db
+       "CREATE TABLE r (a TEXT, b INT); CREATE TABLE s (a TEXT, c INT)");
+  let r = Database.table db "r" and s = Database.table db "s" in
+  ignore (Table.enable_columnar r);
+  ignore (Table.enable_columnar s);
+  List.iter
+    (fun (a, b) -> ignore (Table.insert r [| Value.Str a; Value.Int b |]))
+    [ ("beta", 1); ("alpha", 2); ("beta", 3); ("gamma", 4) ];
+  List.iter
+    (fun (a, c) -> ignore (Table.insert s [| Value.Str a; Value.Int c |]))
+    [ ("delta", 10); ("beta", 20); ("alpha", 30); ("beta", 40) ];
+  let dict_of t =
+    match Table.columnar t with
+    | Some store -> (
+      match Column.view store 0 with
+      | Column.V_str (_, d) -> d
+      | _ -> Alcotest.fail "TEXT column expected dictionary-coded")
+    | None -> Alcotest.fail "columnar mirror expected"
+  in
+  let dr = dict_of r and ds = dict_of s in
+  Alcotest.(check (option int)) "'beta' coded 0 in r" (Some 0)
+    (Column.dict_find dr "beta");
+  Alcotest.(check (option int)) "'beta' coded 1 in s" (Some 1)
+    (Column.dict_find ds "beta");
+  Alcotest.(check (option int)) "'delta' absent from r's dict" None
+    (Column.dict_find dr "delta");
+  let vec =
+    check_vec_exact db
+      ~opts:{ Executor.lineage = false; track_src = true }
+      "SELECT r.b, s.c FROM r, s WHERE r.a = s.a"
+  in
+  Alcotest.(check int) "remapped join rows" 5 (List.length vec.Executor.out_rows)
+
+(* Savepoint rollback truncates dictionary-coded rows but keeps the
+   interned strings, so codes assigned before the savepoint stay valid
+   and a later re-insert reuses the surviving entry. *)
+let test_vec_dict_rollback () =
+  let db = Database.create () in
+  ignore (Database.exec_script db "CREATE TABLE t (a TEXT, b INT)");
+  let t = Database.table db "t" in
+  let store = Table.enable_columnar t in
+  List.iter
+    (fun (a, b) -> ignore (Table.insert t [| Value.Str a; Value.Int b |]))
+    [ ("read", 1); ("write", 2); ("read", 3) ];
+  let sp = Table.savepoint t in
+  ignore (Table.insert t [| Value.Str "export"; Value.Int 4 |]);
+  let vec = check_vec_exact db "SELECT b FROM t WHERE a = 'export'" in
+  Alcotest.(check int) "tentative string row visible" 1
+    (List.length vec.Executor.out_rows);
+  Table.rollback_to t sp;
+  let gone = check_vec_exact db "SELECT b FROM t WHERE a = 'export'" in
+  Alcotest.(check int) "rolled-back string matches nothing" 0
+    (List.length gone.Executor.out_rows);
+  let _, _, entries = Column.layout_stats store in
+  Alcotest.(check int) "dictionary keeps the rolled-back entry" 3 entries;
+  let keep = check_vec_exact db "SELECT b FROM t WHERE a = 'read'" in
+  Alcotest.(check int) "pre-savepoint codes still valid" 2
+    (List.length keep.Executor.out_rows);
+  ignore (Table.insert t [| Value.Str "export"; Value.Int 5 |]);
+  let again = check_vec_exact db "SELECT b FROM t WHERE a = 'export'" in
+  (match again.Executor.out_rows with
+  | [ { Executor.values = [| Value.Int 5 |]; _ } ] -> ()
+  | _ -> Alcotest.fail "re-inserted string should match the surviving code");
+  let _, _, entries' = Column.layout_stats store in
+  Alcotest.(check int) "re-insert interns nothing new" 3 entries'
+
+(* Destructive deletion rebuilds the mirror from the heap: dictionaries
+   come out dense (entries only for surviving strings) and the batch
+   path agrees with the row path over the compacted store. *)
+let test_vec_compaction_dense_codes () =
+  let db = Database.create () in
+  ignore (Database.exec_script db "CREATE TABLE t (a TEXT, b INT)");
+  let t = Database.table db "t" in
+  let store = Table.enable_columnar t in
+  List.iter
+    (fun (a, b) -> ignore (Table.insert t [| Value.Str a; Value.Int b |]))
+    [ ("stale", 1); ("keep", 2); ("stale", 3); ("also", 4); ("keep", 5) ];
+  let _, _, entries0 = Column.layout_stats store in
+  Alcotest.(check int) "three strings interned" 3 entries0;
+  ignore (Table.delete_where t (fun row -> Row.cell row 0 = Value.Str "stale"));
+  let _, _, entries1 = Column.layout_stats store in
+  Alcotest.(check int) "rebuild drops dead dictionary entries" 2 entries1;
+  let vec = check_vec_exact db "SELECT a, b FROM t WHERE a >= 'keep' ORDER BY b" in
+  Alcotest.(check int) "ordering over rebuilt codes" 2
+    (List.length vec.Executor.out_rows)
+
+(* An INT value stored into a FLOAT column demotes that column to the
+   boxed Mixed layout, and the stored value must round-trip as
+   [Value.Int] through the batch path (not coerced to Float). The
+   heap-refill rebuild re-promotes the column once the stray Int is
+   deleted. *)
+let test_vec_mixed_demotion () =
+  let db = Database.create () in
+  ignore (Database.exec_script db "CREATE TABLE t (a INT, f FLOAT)");
+  let t = Database.table db "t" in
+  let store = Table.enable_columnar t in
+  ignore (Table.insert t [| Value.Int 1; Value.Float 1.5 |]);
+  let typed0, mixed0, _ = Column.layout_stats store in
+  Alcotest.(check (pair int int)) "both columns typed before demotion" (2, 0)
+    (typed0, mixed0);
+  ignore (Table.insert t [| Value.Int 2; Value.Int 7 |]);
+  let typed1, mixed1, _ = Column.layout_stats store in
+  Alcotest.(check (pair int int)) "FLOAT column demoted to Mixed" (1, 1)
+    (typed1, mixed1);
+  let vec = check_vec_exact db "SELECT f FROM t WHERE f > 1 ORDER BY f" in
+  (match vec.Executor.out_rows with
+  | [ { Executor.values = [| v1 |]; _ }; { Executor.values = [| v2 |]; _ } ] ->
+    Alcotest.(check bool) "Float cell survives" true (v1 = Value.Float 1.5);
+    Alcotest.(check bool) "Int cell round-trips unboxed" true (v2 = Value.Int 7)
+  | _ -> Alcotest.fail "two rows expected");
+  ignore (Table.delete_where t (fun row -> Row.cell row 1 = Value.Int 7));
+  let typed2, mixed2, _ = Column.layout_stats store in
+  Alcotest.(check (pair int int)) "rebuild re-promotes the demoted column"
+    (2, 0) (typed2, mixed2)
 
 (* Engine-level differential: with the vectorized executor on and off,
    the same policy workload must produce identical verdicts, violation
@@ -567,12 +806,17 @@ let test_cache_steady_state () =
     misses'
 
 let suite =
-  List.map QCheck_alcotest.to_alcotest (prop_diff :: vec_props)
+  List.map QCheck_alcotest.to_alcotest (prop_diff :: (vec_props @ vec_typed_props))
   @ [
       tc "vectorized: sub-slot adapter" test_vec_sub_slot_adapter;
       tc "vectorized: index probe adapter" test_vec_index_adapter;
       tc "vectorized: shared batch cache" test_vec_shared_batch_cache;
       tc "vectorized: columnar rollback sync" test_vec_columnar_rollback_sync;
+      tc "vectorized: cross-dict join remap" test_vec_cross_dict_join;
+      tc "vectorized: dictionary rollback keeps codes" test_vec_dict_rollback;
+      tc "vectorized: compaction re-interns dense codes"
+        test_vec_compaction_dense_codes;
+      tc "vectorized: Mixed demotion round-trips INT" test_vec_mixed_demotion;
       tc "vectorized: engine verdict differential" test_vec_engine_differential;
       tc "join lineage identical across paths" test_join_lineage_identical;
       tc "indexed access = heap access, bit for bit" test_indexed_vs_heap_identical;
